@@ -1,0 +1,77 @@
+//! Design-choice ablations (DESIGN.md §2): what each piece of Anonymous
+//! Gossip buys. Criterion reports wall-clock; the interesting output is
+//! the *delivery* printed to stderr once per configuration, comparing:
+//!
+//! * bare MAODV vs. full gossip (the paper's headline);
+//! * anonymous-only vs. cached-only vs. the 50/50 mix (§4.3);
+//! * locality-weighted vs. uniform walk steps (§4.2);
+//! * gossip with a disabled member cache fallback (cache capacity 1).
+
+use std::time::Duration;
+
+use ag_bench::bench_scenario;
+use ag_harness::{run_gossip, run_maodv, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn describe(label: &str, sc: &Scenario, gossip: bool) {
+    let (mean, min, max) = {
+        let r = if gossip { run_gossip(sc, 0) } else { run_maodv(sc, 0) };
+        let s = r.received_summary();
+        (s.mean(), s.min(), s.max())
+    };
+    eprintln!("[ablation] {label:>24}: delivered {mean:>6.1} [{min:.0}, {max:.0}] of {}", sc.packets_sent());
+}
+
+fn ablation(c: &mut Criterion) {
+    // A stressed configuration so recovery is visible.
+    let base = bench_scenario(55.0, 2.0);
+
+    describe("bare MAODV", &base, false);
+    c.bench_function("ablation_bare_maodv", |b| {
+        b.iter(|| black_box(run_maodv(&base, 0).delivery_ratio()));
+    });
+
+    describe("full gossip (p_anon=0.5)", &base, true);
+    c.bench_function("ablation_full_gossip", |b| {
+        b.iter(|| black_box(run_gossip(&base, 0).delivery_ratio()));
+    });
+
+    let mut anon_only = base.clone();
+    anon_only.ag.p_anon = 1.0;
+    describe("anonymous only", &anon_only, true);
+    c.bench_function("ablation_anonymous_only", |b| {
+        b.iter(|| black_box(run_gossip(&anon_only, 0).delivery_ratio()));
+    });
+
+    let mut cached_only = base.clone();
+    cached_only.ag.p_anon = 0.0;
+    describe("cached only", &cached_only, true);
+    c.bench_function("ablation_cached_only", |b| {
+        b.iter(|| black_box(run_gossip(&cached_only, 0).delivery_ratio()));
+    });
+
+    let mut no_locality = base.clone();
+    no_locality.ag.locality_weighting = false;
+    describe("no locality weighting", &no_locality, true);
+    c.bench_function("ablation_no_locality", |b| {
+        b.iter(|| black_box(run_gossip(&no_locality, 0).delivery_ratio()));
+    });
+
+    let mut tiny_cache = base.clone();
+    tiny_cache.ag.member_cache_capacity = 1;
+    describe("member cache of 1", &tiny_cache, true);
+    c.bench_function("ablation_tiny_member_cache", |b| {
+        b.iter(|| black_box(run_gossip(&tiny_cache, 0).delivery_ratio()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10))
+        .warm_up_time(Duration::from_secs(1));
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One benchmark per paper figure: measures the cost of regenerating a
+//! representative slice of each figure's sweep (scaled down; see the
+//! crate docs). `fig<N>_*` names map one-to-one onto the paper's
+//! Figures 2–8 and the `ag-harness` binaries of the same name.
+
+use std::time::Duration;
+
+use ag_bench::BENCH_SECS;
+use ag_harness::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Runs the first and last sweep point of a line figure with one seed.
+fn bench_line_figure(c: &mut Criterion, name: &str, spec: figures::FigureSpec) {
+    let mut spec = spec.with_duration_secs(BENCH_SECS);
+    spec.xs = vec![spec.xs[0], *spec.xs.last().expect("non-empty sweep")];
+    c.bench_function(name, |b| {
+        b.iter(|| black_box(spec.run(1)));
+    });
+}
+
+fn figure_benches(c: &mut Criterion) {
+    bench_line_figure(c, "fig2_range_sweep", figures::fig2());
+    bench_line_figure(c, "fig3_range_sweep", figures::fig3());
+    bench_line_figure(c, "fig4_speed_sweep", figures::fig4());
+    bench_line_figure(c, "fig5_speed_sweep", figures::fig5());
+    bench_line_figure(c, "fig6_node_sweep", figures::fig6());
+    bench_line_figure(c, "fig7_node_sweep", figures::fig7());
+    c.bench_function("fig8_goodput", |b| {
+        b.iter(|| black_box(figures::fig8(1, BENCH_SECS)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20))
+        .warm_up_time(Duration::from_secs(2));
+    targets = figure_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks for the kernel and protocol data structures on the
+//! hot path: the event queue, duplicate-suppression caches, the gossip
+//! tables and mobility sampling.
+
+use ag_core::{HistoryTable, LostTable, MemberCache, PacketId, PacketRecord};
+use ag_maodv::seen::SeenCache;
+use ag_mobility::{Field, Mobility, PauseRange, RandomWaypoint, SpeedRange};
+use ag_net::NodeId;
+use ag_sim::rng::{SeedSplitter, StreamKind};
+use ag_sim::stats::Summary;
+use ag_sim::{EventQueue, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                // Scatter times to exercise heap reordering.
+                q.schedule(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn seen_cache(c: &mut Criterion) {
+    c.bench_function("seen_cache_insert_1k", |b| {
+        b.iter(|| {
+            let mut s: SeenCache<(u32, u32)> = SeenCache::new(512);
+            for i in 0..1000u32 {
+                black_box(s.insert((i % 600, i / 3)));
+            }
+        });
+    });
+}
+
+fn gossip_tables(c: &mut Criterion) {
+    let origin = NodeId::new(1);
+    c.bench_function("lost_table_observe_gappy_1k", |b| {
+        b.iter(|| {
+            let mut lt = LostTable::new(200);
+            for i in 0..1000u32 {
+                // Every 7th packet "lost": arrivals skip it.
+                if i % 7 != 0 {
+                    lt.observe(origin, i);
+                }
+            }
+            black_box(lt.lost_buffer(10))
+        });
+    });
+    c.bench_function("history_table_push_get_1k", |b| {
+        b.iter(|| {
+            let mut h = HistoryTable::new(100);
+            for i in 0..1000u32 {
+                h.push(PacketRecord {
+                    id: PacketId::new(origin, i),
+                    payload_len: 64,
+                });
+            }
+            black_box(h.get(&PacketId::new(origin, 950)).copied())
+        });
+    });
+    c.bench_function("member_cache_observe_pick", |b| {
+        let mut rng = SeedSplitter::new(9).stream(StreamKind::Node, 0);
+        b.iter(|| {
+            let mut mc = MemberCache::new(10);
+            for i in 0..64u16 {
+                mc.observe(NodeId::new(i), (i % 9) as u8 + 1, SimTime::ZERO);
+            }
+            black_box(mc.pick_random(&mut rng, NodeId::new(0)))
+        });
+    });
+}
+
+fn mobility(c: &mut Criterion) {
+    c.bench_function("waypoint_advance_600s", |b| {
+        let splitter = SeedSplitter::new(3);
+        b.iter(|| {
+            let mut rng = splitter.stream(StreamKind::Mobility, 0);
+            let mut m = RandomWaypoint::new(Field::paper(), SpeedRange::new(0.0, 10.0), PauseRange::paper(), &mut rng);
+            let end = SimTime::from_secs(600);
+            while m.next_transition() < end {
+                let t = m.next_transition();
+                m.transition(t, &mut rng);
+            }
+            black_box(m.position(end))
+        });
+    });
+}
+
+fn stats(c: &mut Criterion) {
+    c.bench_function("summary_record_10k", |b| {
+        b.iter(|| {
+            let mut s = Summary::new();
+            for i in 0..10_000 {
+                s.record((i % 997) as f64);
+            }
+            black_box((s.mean(), s.variance()))
+        });
+    });
+}
+
+fn small_engine(c: &mut Criterion) {
+    // The fundamental cost unit of every experiment: one simulated
+    // second of a 20-node gossip network.
+    c.bench_function("engine_20_nodes_1s_sim", |b| {
+        let sc = ag_bench::bench_scenario(75.0, 1.0);
+        b.iter(|| black_box(ag_harness::run_gossip(&sc, 1).delivery_ratio()));
+    });
+    let _ = SimDuration::ZERO;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(10))
+        .warm_up_time(Duration::from_secs(2));
+    targets = event_queue, seen_cache, gossip_tables, mobility, stats, small_engine
+}
+criterion_main!(benches);

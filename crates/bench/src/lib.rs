@@ -1,0 +1,38 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Benchmarks run *scaled-down* versions of the paper's experiments: the
+//! same code paths as the `fig2`–`fig8` binaries, but fewer nodes, fewer
+//! seeds and shorter simulated time, so `cargo bench` finishes in
+//! minutes while still measuring realistic full-stack workloads. The
+//! benched value is the wall-clock cost of regenerating (a slice of)
+//! each figure; the *science* lives in the harness binaries and
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ag_harness::Scenario;
+
+/// Seconds of simulated time per benchmark run.
+pub const BENCH_SECS: u64 = 60;
+
+/// Nodes per benchmark scenario (figure benches override where the
+/// figure sweeps node count).
+pub const BENCH_NODES: usize = 20;
+
+/// A scaled-down paper scenario for benchmarking.
+pub fn bench_scenario(range_m: f64, max_speed: f64) -> Scenario {
+    Scenario::paper(BENCH_NODES, range_m, max_speed).with_duration_secs(BENCH_SECS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_is_scaled() {
+        let sc = bench_scenario(75.0, 0.2);
+        assert_eq!(sc.nodes, BENCH_NODES);
+        assert!(sc.packets_sent() < 2201);
+    }
+}

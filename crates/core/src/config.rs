@@ -1,0 +1,115 @@
+//! Gossip-layer configuration.
+
+use ag_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Anonymous Gossip parameters.
+///
+/// Defaults are the paper's §5.1 settings: one gossip message per member
+/// per second, at most 10 requested packets per message, a 10-entry
+/// member cache, a 200-entry lost table and a 100-entry history table.
+/// The paper does not publish `p_anon` (anonymous vs. cached) or the
+/// member-relay accept probability; both default to 0.5 and are swept by
+/// the ablation benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use ag_core::AgConfig;
+/// let cfg = AgConfig::paper_default();
+/// assert_eq!(cfg.lost_buffer_max, 10);
+/// assert_eq!(cfg.history_capacity, 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgConfig {
+    /// Interval between gossip rounds at each member (paper: 1 s).
+    pub gossip_interval: SimDuration,
+    /// Probability a round uses anonymous gossip rather than cached
+    /// gossip (§4.3).
+    pub p_anon: f64,
+    /// Probability a *member* relay accepts a walking request instead of
+    /// propagating it further (§4.1).
+    pub p_accept: f64,
+    /// Maximum lost-packet ids carried per gossip message (paper: 10).
+    pub lost_buffer_max: usize,
+    /// Member cache capacity (paper: 10).
+    pub member_cache_capacity: usize,
+    /// Lost table capacity (paper: 200).
+    pub lost_table_capacity: usize,
+    /// History table capacity (paper: 100).
+    pub history_capacity: usize,
+    /// TTL of the anonymous random walk (hops along the tree).
+    pub gossip_ttl: u8,
+    /// Maximum packets returned in one gossip reply.
+    pub reply_max_packets: usize,
+    /// How many packets past a member's expected sequence number a
+    /// replier will volunteer when the initiator reports no explicit
+    /// losses (tail-loss recovery).
+    pub tail_recovery_max: usize,
+    /// Weight walk steps toward next hops with smaller `nearest_member`
+    /// distances (§4.2). Disable for the locality ablation benchmark.
+    pub locality_weighting: bool,
+}
+
+impl AgConfig {
+    /// The paper's configuration.
+    pub fn paper_default() -> Self {
+        AgConfig {
+            gossip_interval: SimDuration::from_secs(1),
+            p_anon: 0.5,
+            p_accept: 0.5,
+            lost_buffer_max: 10,
+            member_cache_capacity: 10,
+            lost_table_capacity: 200,
+            history_capacity: 100,
+            gossip_ttl: 16,
+            reply_max_packets: 10,
+            tail_recovery_max: 5,
+            locality_weighting: true,
+        }
+    }
+
+    /// Validates probability fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_anon` or `p_accept` is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.p_anon), "p_anon out of range");
+        assert!((0.0..=1.0).contains(&self.p_accept), "p_accept out of range");
+        assert!(self.lost_buffer_max > 0, "lost buffer must be positive");
+        assert!(self.reply_max_packets > 0, "reply budget must be positive");
+    }
+}
+
+impl Default for AgConfig {
+    fn default() -> Self {
+        AgConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let c = AgConfig::paper_default();
+        assert_eq!(c.gossip_interval, SimDuration::from_secs(1));
+        assert_eq!(c.lost_buffer_max, 10);
+        assert_eq!(c.member_cache_capacity, 10);
+        assert_eq!(c.lost_table_capacity, 200);
+        assert_eq!(c.history_capacity, 100);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_bad_probability() {
+        let c = AgConfig {
+            p_anon: 1.5,
+            ..AgConfig::paper_default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,165 @@
+//! The history table (§4.4): a bounded FIFO of the most recent packets
+//! received, retained so gossip replies can carry the actual data.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::message::{PacketId, PacketRecord};
+
+/// Bounded FIFO packet store.
+///
+/// # Example
+///
+/// ```
+/// use ag_core::{HistoryTable, PacketId, PacketRecord};
+/// use ag_net::NodeId;
+///
+/// let mut h = HistoryTable::new(100);
+/// let id = PacketId::new(NodeId::new(1), 7);
+/// h.push(PacketRecord { id, payload_len: 64 });
+/// assert!(h.contains(&id));
+/// assert_eq!(h.get(&id).unwrap().payload_len, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryTable {
+    by_id: HashMap<PacketId, PacketRecord>,
+    order: VecDeque<PacketId>,
+    capacity: usize,
+}
+
+impl HistoryTable {
+    /// Creates a history holding at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history table needs capacity");
+        HistoryTable {
+            by_id: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Stores a packet (no-op if already present); evicts the oldest
+    /// packet when full.
+    pub fn push(&mut self, rec: PacketRecord) {
+        if self.by_id.contains_key(&rec.id) {
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.by_id.remove(&old);
+            }
+        }
+        self.order.push_back(rec.id);
+        self.by_id.insert(rec.id, rec);
+    }
+
+    /// Fetches a stored packet.
+    pub fn get(&self, id: &PacketId) -> Option<&PacketRecord> {
+        self.by_id.get(id)
+    }
+
+    /// `true` if `id` is currently stored.
+    pub fn contains(&self, id: &PacketId) -> bool {
+        self.by_id.contains_key(id)
+    }
+
+    /// Iterates over stored packets, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.order.iter().filter_map(|id| self.by_id.get(id))
+    }
+
+    /// Number of stored packets.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_net::NodeId;
+    use proptest::prelude::*;
+
+    fn rec(origin: u16, seq: u32) -> PacketRecord {
+        PacketRecord {
+            id: PacketId::new(NodeId::new(origin), seq),
+            payload_len: 64,
+        }
+    }
+
+    #[test]
+    fn stores_and_fetches() {
+        let mut h = HistoryTable::new(4);
+        h.push(rec(1, 1));
+        assert!(h.contains(&PacketId::new(NodeId::new(1), 1)));
+        assert!(!h.contains(&PacketId::new(NodeId::new(1), 2)));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.capacity(), 4);
+    }
+
+    #[test]
+    fn duplicate_push_is_noop() {
+        let mut h = HistoryTable::new(4);
+        h.push(rec(1, 1));
+        h.push(rec(1, 1));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn evicts_fifo() {
+        let mut h = HistoryTable::new(3);
+        for s in 1..=4 {
+            h.push(rec(1, s));
+        }
+        assert_eq!(h.len(), 3);
+        assert!(!h.contains(&PacketId::new(NodeId::new(1), 1)));
+        assert!(h.contains(&PacketId::new(NodeId::new(1), 4)));
+        let order: Vec<u32> = h.iter().map(|r| r.id.seq).collect();
+        assert_eq!(order, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = HistoryTable::new(0);
+    }
+
+    proptest! {
+        /// len never exceeds capacity; everything in `order` resolves.
+        #[test]
+        fn prop_bounded_and_consistent(seqs in prop::collection::vec(0u32..40, 0..200), cap in 1usize..16) {
+            let mut h = HistoryTable::new(cap);
+            for &s in &seqs {
+                h.push(rec(1, s));
+                prop_assert!(h.len() <= cap);
+                prop_assert_eq!(h.iter().count(), h.len());
+            }
+        }
+
+        /// The most recent `cap` *distinct* pushes are always retained.
+        #[test]
+        fn prop_recent_retained(n in 1u32..50, cap in 1usize..10) {
+            let mut h = HistoryTable::new(cap);
+            for s in 1..=n {
+                h.push(rec(1, s));
+            }
+            let lo = n.saturating_sub(cap as u32 - 1).max(1);
+            for s in lo..=n {
+                prop_assert!(h.contains(&PacketId::new(NodeId::new(1), s)), "seq {} missing", s);
+            }
+        }
+    }
+}

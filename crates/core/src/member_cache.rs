@@ -1,0 +1,235 @@
+//! The member cache (§4.3): a bounded buffer of known group members
+//! used for *cached gossip*, filled at no extra cost from data packets,
+//! gossip replies and route replies.
+
+use ag_net::NodeId;
+use ag_sim::SimTime;
+use rand::Rng;
+
+/// One cached member: `(node_addr, numhops, last_gossip)` exactly as
+/// §4.3 defines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The member's address.
+    pub node: NodeId,
+    /// Shortest observed distance, in hops.
+    pub numhops: u8,
+    /// Last time this node gossiped with the member ([`SimTime::ZERO`]
+    /// if never).
+    pub last_gossip: SimTime,
+}
+
+/// The bounded member cache with the paper's eviction rule: when full,
+/// evict a member that is *farther* than the newcomer; if none is
+/// farther, evict the member with the most recent `last_gossip` (to
+/// avoid gossiping with the same members repeatedly).
+///
+/// # Example
+///
+/// ```
+/// use ag_core::MemberCache;
+/// use ag_net::NodeId;
+/// use ag_sim::SimTime;
+///
+/// let mut mc = MemberCache::new(10);
+/// mc.observe(NodeId::new(3), 2, SimTime::ZERO);
+/// assert_eq!(mc.len(), 1);
+/// assert_eq!(mc.entries()[0].numhops, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemberCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+}
+
+impl MemberCache {
+    /// Creates a cache holding at most `capacity` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "member cache needs capacity");
+        MemberCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records that `member` was observed `numhops` away at `now`.
+    ///
+    /// Existing entries keep their `last_gossip` and update `numhops`;
+    /// new members enter via the eviction rule above.
+    pub fn observe(&mut self, member: NodeId, numhops: u8, now: SimTime) {
+        let _ = now;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.node == member) {
+            e.numhops = numhops;
+            return;
+        }
+        let new = CacheEntry {
+            node: member,
+            numhops,
+            last_gossip: SimTime::ZERO,
+        };
+        if self.entries.len() < self.capacity {
+            self.entries.push(new);
+            return;
+        }
+        // Paper's rule: evict a member with greater numhops…
+        if let Some(i) = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.numhops > numhops)
+            .max_by_key(|(_, e)| e.numhops)
+            .map(|(i, _)| i)
+        {
+            self.entries[i] = new;
+            return;
+        }
+        // …else the one gossiped with most recently.
+        if let Some(i) = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.last_gossip)
+            .map(|(i, _)| i)
+        {
+            self.entries[i] = new;
+        }
+    }
+
+    /// Records that we just gossiped with `member` at `now` (updates the
+    /// anti-repetition timestamp).
+    pub fn record_gossip(&mut self, member: NodeId, now: SimTime) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.node == member) {
+            e.last_gossip = now;
+        }
+    }
+
+    /// Picks a uniformly random cached member other than `exclude`.
+    pub fn pick_random<R: Rng + ?Sized>(&self, rng: &mut R, exclude: NodeId) -> Option<CacheEntry> {
+        let eligible: Vec<&CacheEntry> = self.entries.iter().filter(|e| e.node != exclude).collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        Some(*eligible[rng.random_range(0..eligible.len())])
+    }
+
+    /// Drops `member` from the cache (e.g. repeated unreachability).
+    pub fn remove(&mut self, member: NodeId) {
+        self.entries.retain(|e| e.node != member);
+    }
+
+    /// The current entries, in insertion order.
+    pub fn entries(&self) -> &[CacheEntry] {
+        &self.entries
+    }
+
+    /// Number of cached members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no members are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_sim::rng::{SeedSplitter, StreamKind};
+    use ag_sim::SimDuration;
+
+    fn id(n: u16) -> NodeId {
+        NodeId::new(n)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn observe_updates_hops_in_place() {
+        let mut mc = MemberCache::new(4);
+        mc.observe(id(1), 5, t(0));
+        mc.observe(id(1), 2, t(1));
+        assert_eq!(mc.len(), 1);
+        assert_eq!(mc.entries()[0].numhops, 2);
+    }
+
+    #[test]
+    fn eviction_prefers_farther_member() {
+        let mut mc = MemberCache::new(2);
+        mc.observe(id(1), 8, t(0));
+        mc.observe(id(2), 3, t(0));
+        // Cache full; newcomer at 5 hops evicts the 8-hop member.
+        mc.observe(id(3), 5, t(1));
+        let nodes: Vec<NodeId> = mc.entries().iter().map(|e| e.node).collect();
+        assert!(nodes.contains(&id(2)));
+        assert!(nodes.contains(&id(3)));
+        assert!(!nodes.contains(&id(1)));
+    }
+
+    #[test]
+    fn eviction_falls_back_to_most_recent_gossip() {
+        let mut mc = MemberCache::new(2);
+        mc.observe(id(1), 1, t(0));
+        mc.observe(id(2), 1, t(0));
+        mc.record_gossip(id(1), t(5));
+        mc.record_gossip(id(2), t(9));
+        // Newcomer is farther than everyone: evict most recent gossip (2).
+        mc.observe(id(3), 4, t(10));
+        let nodes: Vec<NodeId> = mc.entries().iter().map(|e| e.node).collect();
+        assert!(nodes.contains(&id(1)));
+        assert!(nodes.contains(&id(3)));
+        assert!(!nodes.contains(&id(2)));
+    }
+
+    #[test]
+    fn pick_random_excludes_self() {
+        let mut mc = MemberCache::new(4);
+        mc.observe(id(1), 1, t(0));
+        let mut rng = SeedSplitter::new(1).stream(StreamKind::Node, 0);
+        assert!(mc.pick_random(&mut rng, id(1)).is_none());
+        mc.observe(id(2), 1, t(0));
+        for _ in 0..20 {
+            assert_eq!(mc.pick_random(&mut rng, id(1)).unwrap().node, id(2));
+        }
+    }
+
+    #[test]
+    fn pick_random_covers_all_entries() {
+        let mut mc = MemberCache::new(8);
+        for n in 1..=5 {
+            mc.observe(id(n), 1, t(0));
+        }
+        let mut rng = SeedSplitter::new(2).stream(StreamKind::Node, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(mc.pick_random(&mut rng, id(99)).unwrap().node);
+        }
+        assert_eq!(seen.len(), 5, "all cached members should be picked eventually");
+    }
+
+    #[test]
+    fn record_gossip_updates_timestamp() {
+        let mut mc = MemberCache::new(2);
+        mc.observe(id(1), 1, t(0));
+        mc.record_gossip(id(1), t(0) + SimDuration::from_secs(3));
+        assert_eq!(mc.entries()[0].last_gossip, t(3));
+        // Unknown member: no-op.
+        mc.record_gossip(id(9), t(4));
+        assert_eq!(mc.len(), 1);
+    }
+
+    #[test]
+    fn remove_drops_entry() {
+        let mut mc = MemberCache::new(2);
+        mc.observe(id(1), 1, t(0));
+        mc.remove(id(1));
+        assert!(mc.is_empty());
+    }
+}

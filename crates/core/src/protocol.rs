@@ -1,0 +1,816 @@
+//! The full Anonymous Gossip node stack.
+//!
+//! [`AnonymousGossip`] composes a [`Maodv`] routing instance (phase one:
+//! unreliable tree multicast) with the gossip recovery layer (phase
+//! two), exactly mirroring the paper's layering: "AG is implemented over
+//! MAODV without much overhead" and could wrap any multicast protocol
+//! exposing the same hooks.
+
+use ag_maodv::delivery::{DeliveryLog, DeliveryPath};
+use ag_maodv::{GroupId, Maodv, MaodvConfig, MaodvMsg, TrafficSource, Upcall, TIMER_USER_BASE};
+use ag_net::{NodeApi, NodeId, Protocol, RxKind, TimerKey};
+use ag_sim::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::message::{AgMsg, GossipReply, GossipRequest, PacketId, PacketRecord};
+use crate::{AgConfig, GossipMetrics, HistoryTable, LostTable, MemberCache};
+
+/// Timer: one gossip round (paper: every second per member).
+const TIMER_GOSSIP: TimerKey = TIMER_USER_BASE;
+/// Timer: CBR traffic source.
+const TIMER_TRAFFIC: TimerKey = TIMER_USER_BASE + 1;
+
+type Api<'a> = NodeApi<'a, MaodvMsg<AgMsg>>;
+
+/// Picks a next hop from `(node, nearest_member)` candidates, weighting
+/// toward smaller member distances with weight `1 / nearest_member`
+/// (§4.2), or uniformly when `locality` is off.
+fn weighted_pick(candidates: &[(NodeId, u8)], locality: bool, rng: &mut SmallRng) -> Option<NodeId> {
+    if candidates.is_empty() {
+        return None;
+    }
+    if !locality {
+        return Some(candidates[rng.random_range(0..candidates.len())].0);
+    }
+    let weights: Vec<f64> = candidates.iter().map(|&(_, nm)| 1.0 / f64::from(nm.max(1))).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return Some(candidates[i].0);
+        }
+        draw -= w;
+    }
+    Some(candidates[candidates.len() - 1].0)
+}
+
+/// Chooses what a member puts into a gossip reply (§4.4 pull):
+/// everything the initiator explicitly listed as lost (and that is still
+/// in the history table), then *tail recovery* — the oldest history
+/// packets at or past the initiator's expected sequence number per
+/// origin, capped at `tail_recovery_max`, which reaches the packets the
+/// initiator has seen nothing after and so cannot name. The total is
+/// bounded by `reply_max_packets`.
+pub(crate) fn select_reply_packets(
+    history: &HistoryTable,
+    r: &GossipRequest,
+    cfg: &AgConfig,
+) -> Vec<PacketRecord> {
+    let mut packets: Vec<PacketRecord> = Vec::new();
+    for id in &r.lost {
+        if packets.len() >= cfg.reply_max_packets {
+            break;
+        }
+        if let Some(rec) = history.get(id) {
+            packets.push(*rec);
+        }
+    }
+    for &(origin, expected) in &r.expected {
+        if packets.len() >= cfg.reply_max_packets {
+            break;
+        }
+        let mut tail: Vec<PacketRecord> = history
+            .iter()
+            .filter(|p| p.id.origin == origin && p.id.seq >= expected)
+            .copied()
+            .collect();
+        tail.sort_by_key(|p| p.id.seq);
+        for rec in tail.into_iter().take(cfg.tail_recovery_max) {
+            if packets.len() >= cfg.reply_max_packets {
+                break;
+            }
+            if !packets.iter().any(|p| p.id == rec.id) {
+                packets.push(rec);
+            }
+        }
+    }
+    packets
+}
+
+/// One node running MAODV + Anonymous Gossip (+ optionally the paper's
+/// CBR source). This is the crate's primary public type.
+///
+/// # Example
+///
+/// ```
+/// use ag_core::{AnonymousGossip, AgConfig};
+/// use ag_maodv::{GroupId, MaodvConfig, TrafficSource};
+/// use ag_net::{Engine, NodeSetup, NodeId, PhyParams};
+/// use ag_mobility::{Stationary, Vec2};
+/// use ag_sim::{SimTime, SimDuration};
+///
+/// let ag = AgConfig::paper_default();
+/// let mv = MaodvConfig::paper_default();
+/// let g = GroupId(0);
+/// let src = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 20, 64);
+/// let nodes = vec![
+///     NodeSetup {
+///         mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))),
+///         protocol: AnonymousGossip::new(ag, mv, NodeId::new(0), g, true, Some(src)),
+///     },
+///     NodeSetup {
+///         mobility: Box::new(Stationary::new(Vec2::new(40.0, 0.0))),
+///         protocol: AnonymousGossip::new(ag, mv, NodeId::new(1), g, true, None),
+///     },
+/// ];
+/// let mut e = Engine::new(PhyParams::paper_default(75.0), 3, nodes);
+/// e.run_until(SimTime::from_secs(40));
+/// assert_eq!(e.protocol(NodeId::new(1)).delivery().distinct(), 20);
+/// ```
+#[derive(Debug)]
+pub struct AnonymousGossip {
+    cfg: AgConfig,
+    maodv: Maodv<AgMsg>,
+    delivery: DeliveryLog,
+    lost: LostTable,
+    history: HistoryTable,
+    cache: MemberCache,
+    metrics: GossipMetrics,
+    traffic: Option<TrafficSource>,
+}
+
+impl AnonymousGossip {
+    /// Creates a node. `traffic` makes it the group's CBR source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`AgConfig::validate`].
+    pub fn new(
+        cfg: AgConfig,
+        maodv_cfg: MaodvConfig,
+        id: NodeId,
+        group: GroupId,
+        is_member: bool,
+        traffic: Option<TrafficSource>,
+    ) -> Self {
+        cfg.validate();
+        AnonymousGossip {
+            maodv: Maodv::new(maodv_cfg, id, group, is_member),
+            delivery: DeliveryLog::new(),
+            lost: LostTable::new(cfg.lost_table_capacity),
+            history: HistoryTable::new(cfg.history_capacity),
+            cache: MemberCache::new(cfg.member_cache_capacity),
+            metrics: GossipMetrics::new(),
+            traffic,
+            cfg,
+        }
+    }
+
+    // ───────────────────────── accessors ─────────────────────────
+
+    /// Distinct packets delivered to this member (tree + gossip).
+    pub fn delivery(&self) -> &DeliveryLog {
+        &self.delivery
+    }
+
+    /// This node's gossip activity counters (goodput etc.).
+    pub fn metrics(&self) -> &GossipMetrics {
+        &self.metrics
+    }
+
+    /// The underlying MAODV state.
+    pub fn maodv(&self) -> &Maodv<AgMsg> {
+        &self.maodv
+    }
+
+    /// The member cache.
+    pub fn member_cache(&self) -> &MemberCache {
+        &self.cache
+    }
+
+    /// The lost table.
+    pub fn lost_table(&self) -> &LostTable {
+        &self.lost
+    }
+
+    /// The history table.
+    pub fn history(&self) -> &HistoryTable {
+        &self.history
+    }
+
+    /// The gossip configuration.
+    pub fn config(&self) -> &AgConfig {
+        &self.cfg
+    }
+
+    // ───────────────────────── delivery plumbing ─────────────────────────
+
+    /// A data packet reached this member (any path): account for it and
+    /// keep a copy for future gossip replies.
+    fn deliver(&mut self, now: SimTime, origin: NodeId, seq: u32, payload_len: u16, path: DeliveryPath) -> bool {
+        let new = self.delivery.record(origin, seq, path);
+        self.history.push(PacketRecord {
+            id: PacketId::new(origin, seq),
+            payload_len,
+        });
+        self.lost.observe(origin, seq);
+        if origin != self.maodv.id() {
+            // Data implies the origin is a member (free cache feed).
+            let _ = now;
+        }
+        new
+    }
+
+    fn process_upcalls(&mut self, api: &mut Api<'_>, upcalls: Vec<Upcall<AgMsg>>) {
+        for up in upcalls {
+            match up {
+                Upcall::DataReceived {
+                    origin,
+                    seq,
+                    payload_len,
+                    hops,
+                } => {
+                    self.deliver(api.now(), origin, seq, payload_len, DeliveryPath::Tree);
+                    self.cache.observe(origin, hops, api.now());
+                }
+                Upcall::MemberObserved { member, hops } => {
+                    if member != self.maodv.id() {
+                        self.cache.observe(member, hops, api.now());
+                    }
+                }
+                Upcall::ExtNeighbor { from, msg } => match msg {
+                    AgMsg::Request(r) => self.handle_walking_request(api, from, r),
+                    AgMsg::Reply(rep) => self.handle_reply(api, rep, 1),
+                },
+                Upcall::ExtRouted { src, hops, msg } => match msg {
+                    AgMsg::Request(r) => {
+                        // Cached gossip addressed to us: always accept.
+                        let _ = src;
+                        self.metrics.requests_accepted += 1;
+                        self.cache.observe(r.initiator, hops, api.now());
+                        self.answer_request(api, &r);
+                    }
+                    AgMsg::Reply(rep) => self.handle_reply(api, rep, hops),
+                },
+                Upcall::JoinedTree | Upcall::BecameLeader => {}
+            }
+        }
+    }
+
+    // ───────────────────────── gossip rounds ─────────────────────────
+
+    fn build_request(&self, hops: u8, ttl: u8) -> GossipRequest {
+        GossipRequest {
+            group: self.maodv.group(),
+            initiator: self.maodv.id(),
+            lost: self.lost.lost_buffer(self.cfg.lost_buffer_max),
+            expected: self.lost.expected_vec(),
+            hops,
+            ttl,
+        }
+    }
+
+    /// One §4 gossip round: anonymous with probability `p_anon`, cached
+    /// otherwise; each falls back to the other when impossible.
+    fn gossip_round(&mut self, api: &mut Api<'_>) {
+        if !self.maodv.is_member() {
+            return;
+        }
+        let want_anon = {
+            let rng = api.rng();
+            rng.random_bool(self.cfg.p_anon)
+        };
+        let anon_target = {
+            let candidates: Vec<(NodeId, u8)> =
+                self.maodv.mrt().enabled().map(|h| (h.node, h.nearest_member)).collect();
+            weighted_pick(&candidates, self.cfg.locality_weighting, api.rng())
+        };
+        let cached_target = {
+            let me = self.maodv.id();
+            self.cache.pick_random(api.rng(), me)
+        };
+        let req = self.build_request(0, self.cfg.gossip_ttl);
+        match (want_anon, anon_target, cached_target) {
+            (true, Some(next), _) | (false, Some(next), None) => {
+                self.metrics.rounds_anonymous += 1;
+                self.maodv.send_ext_neighbor(api, next, AgMsg::Request(req));
+                api.count("ag.request_anon_sent");
+            }
+            (false, _, Some(entry)) | (true, None, Some(entry)) => {
+                self.metrics.rounds_cached += 1;
+                self.cache.record_gossip(entry.node, api.now());
+                self.maodv.send_ext_routed(api, entry.node, AgMsg::Request(req));
+                api.count("ag.request_cached_sent");
+            }
+            (_, None, None) => {
+                self.metrics.rounds_skipped += 1;
+                api.count("ag.round_skipped");
+            }
+        }
+    }
+
+    /// A request walking the tree arrived from `from` (§4.1 step flow).
+    fn handle_walking_request(&mut self, api: &mut Api<'_>, from: NodeId, r: GossipRequest) {
+        if r.initiator == self.maodv.id() {
+            // The walk came back around; nothing useful to do.
+            self.metrics.requests_dropped += 1;
+            return;
+        }
+        // Record the reverse path: this is what lets the eventual
+        // accepting member unicast its reply without route discovery.
+        self.maodv.note_route(api.now(), r.initiator, from, r.hops.saturating_add(1));
+        let accept = self.maodv.is_member() && api.rng().random_bool(self.cfg.p_accept);
+        if accept {
+            self.metrics.requests_accepted += 1;
+            self.cache.observe(r.initiator, r.hops.saturating_add(1), api.now());
+            self.answer_request(api, &r);
+            return;
+        }
+        // Propagate to a random next hop other than the sender, biased
+        // toward nearby members (§4.2).
+        let next = if r.ttl <= 1 {
+            None
+        } else {
+            let candidates: Vec<(NodeId, u8)> = self
+                .maodv
+                .mrt()
+                .enabled()
+                .filter(|h| h.node != from && h.node != r.initiator)
+                .map(|h| (h.node, h.nearest_member))
+                .collect();
+            weighted_pick(&candidates, self.cfg.locality_weighting, api.rng())
+        };
+        match next {
+            Some(next) => {
+                self.metrics.requests_propagated += 1;
+                self.maodv.send_ext_neighbor(
+                    api,
+                    next,
+                    AgMsg::Request(GossipRequest {
+                        hops: r.hops.saturating_add(1),
+                        ttl: r.ttl - 1,
+                        ..r
+                    }),
+                );
+            }
+            None if self.maodv.is_member() => {
+                // Nowhere to go: accept rather than waste the walk.
+                self.metrics.requests_accepted += 1;
+                self.cache.observe(r.initiator, r.hops.saturating_add(1), api.now());
+                self.answer_request(api, &r);
+            }
+            None => {
+                self.metrics.requests_dropped += 1;
+                api.count("ag.request_dead_end");
+            }
+        }
+    }
+
+    /// §4.4 pull: look up everything the initiator asked for (plus tail
+    /// recovery past its expected sequence numbers) and unicast it back.
+    fn answer_request(&mut self, api: &mut Api<'_>, r: &GossipRequest) {
+        let packets = select_reply_packets(&self.history, r, &self.cfg);
+        if packets.is_empty() {
+            api.count("ag.reply_empty");
+            return;
+        }
+        self.metrics.reply_packets_sent += packets.len() as u64;
+        api.count_n("ag.reply_packets_sent", packets.len() as u64);
+        self.maodv.send_ext_routed(
+            api,
+            r.initiator,
+            AgMsg::Reply(GossipReply {
+                group: r.group,
+                responder: self.maodv.id(),
+                packets,
+            }),
+        );
+    }
+
+    /// A gossip reply arrived: deliver anything new (this is the paper's
+    /// loss recovery) and measure goodput.
+    fn handle_reply(&mut self, api: &mut Api<'_>, rep: GossipReply, hops: u8) {
+        self.cache.observe(rep.responder, hops, api.now());
+        for p in rep.packets {
+            self.metrics.reply_packets_received += 1;
+            let new = self.deliver(api.now(), p.id.origin, p.id.seq, p.payload_len, DeliveryPath::Gossip);
+            if new {
+                self.metrics.reply_packets_useful += 1;
+                api.count("ag.recovered");
+            } else {
+                api.count("ag.reply_duplicate");
+            }
+        }
+    }
+}
+
+impl Protocol for AnonymousGossip {
+    type Msg = MaodvMsg<AgMsg>;
+
+    fn start(&mut self, api: &mut Api<'_>) {
+        self.maodv.start(api);
+        if self.maodv.is_member() {
+            let jitter =
+                SimDuration::from_nanos(api.rng().random_range(0..self.cfg.gossip_interval.as_nanos().max(1)));
+            api.set_timer(self.cfg.gossip_interval + jitter, TIMER_GOSSIP);
+        }
+        if let Some(t) = self.traffic {
+            api.set_timer(t.start.duration_since(SimTime::ZERO), TIMER_TRAFFIC);
+        }
+    }
+
+    fn on_packet(&mut self, api: &mut Api<'_>, from: NodeId, msg: Self::Msg, rx: RxKind) {
+        let mut up = Vec::new();
+        self.maodv.on_packet(api, from, msg, rx, &mut up);
+        self.process_upcalls(api, up);
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_>, key: TimerKey) {
+        let mut up = Vec::new();
+        if self.maodv.on_timer(api, key, &mut up) {
+            self.process_upcalls(api, up);
+            return;
+        }
+        match key {
+            TIMER_GOSSIP => {
+                self.gossip_round(api);
+                api.set_timer(self.cfg.gossip_interval, TIMER_GOSSIP);
+            }
+            TIMER_TRAFFIC => {
+                if let Some(t) = self.traffic {
+                    if api.now() <= t.end {
+                        let seq = self.maodv.send_data(api, t.payload_len);
+                        let me = self.maodv.id();
+                        self.deliver(api.now(), me, seq, t.payload_len, DeliveryPath::Tree);
+                        api.set_timer(t.interval, TIMER_TRAFFIC);
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.process_upcalls(api, up);
+    }
+
+    fn on_send_failure(&mut self, api: &mut Api<'_>, to: NodeId, msg: Self::Msg) {
+        let mut up = Vec::new();
+        self.maodv.on_send_failure(api, to, msg, &mut up);
+        self.process_upcalls(api, up);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_mobility::{Mobility, Stationary, Vec2};
+    use ag_net::{Engine, NodeSetup, PhyParams};
+    use ag_sim::rng::{SeedSplitter, StreamKind};
+
+    fn id(n: u16) -> NodeId {
+        NodeId::new(n)
+    }
+
+    // ── weighted_pick unit tests ──
+
+    #[test]
+    fn weighted_pick_empty_is_none() {
+        let mut rng = SeedSplitter::new(1).stream(StreamKind::Node, 0);
+        assert_eq!(weighted_pick(&[], true, &mut rng), None);
+        assert_eq!(weighted_pick(&[], false, &mut rng), None);
+    }
+
+    #[test]
+    fn weighted_pick_single_always_chosen() {
+        let mut rng = SeedSplitter::new(1).stream(StreamKind::Node, 1);
+        for _ in 0..10 {
+            assert_eq!(weighted_pick(&[(id(4), 9)], true, &mut rng), Some(id(4)));
+        }
+    }
+
+    #[test]
+    fn weighted_pick_biases_toward_near_members() {
+        // nm=1 vs nm=8: expect roughly 8:1 preference.
+        let mut rng = SeedSplitter::new(2).stream(StreamKind::Node, 2);
+        let cands = [(id(1), 1u8), (id(2), 8u8)];
+        let mut near = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if weighted_pick(&cands, true, &mut rng) == Some(id(1)) {
+                near += 1;
+            }
+        }
+        let frac = near as f64 / n as f64;
+        assert!((frac - 8.0 / 9.0).abs() < 0.02, "near fraction {frac}");
+    }
+
+    #[test]
+    fn weighted_pick_uniform_without_locality() {
+        let mut rng = SeedSplitter::new(3).stream(StreamKind::Node, 3);
+        let cands = [(id(1), 1u8), (id(2), 8u8)];
+        let mut near = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if weighted_pick(&cands, false, &mut rng) == Some(id(1)) {
+                near += 1;
+            }
+        }
+        let frac = near as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "uniform fraction {frac}");
+    }
+
+    #[test]
+    fn weighted_pick_handles_zero_nearest_member() {
+        // nm is clamped to 1 in the weight; must not divide by zero.
+        let mut rng = SeedSplitter::new(4).stream(StreamKind::Node, 4);
+        assert!(weighted_pick(&[(id(1), 0)], true, &mut rng).is_some());
+    }
+
+    // ── select_reply_packets (the §4.4 reply rule) ──
+
+    fn history_with(origin: u16, seqs: &[u32]) -> HistoryTable {
+        let mut h = HistoryTable::new(100);
+        for &s in seqs {
+            h.push(crate::PacketRecord {
+                id: crate::PacketId::new(id(origin), s),
+                payload_len: 64,
+            });
+        }
+        h
+    }
+
+    fn request(lost: Vec<crate::PacketId>, expected: Vec<(NodeId, u32)>) -> GossipRequest {
+        GossipRequest {
+            group: GroupId(0),
+            initiator: id(9),
+            lost,
+            expected,
+            hops: 0,
+            ttl: 8,
+        }
+    }
+
+    #[test]
+    fn reply_returns_exact_lost_matches() {
+        let h = history_with(1, &[1, 2, 3, 4, 5]);
+        let cfg = AgConfig::paper_default();
+        let r = request(vec![crate::PacketId::new(id(1), 2), crate::PacketId::new(id(1), 4)], vec![]);
+        let out = select_reply_packets(&h, &r, &cfg);
+        let seqs: Vec<u32> = out.iter().map(|p| p.id.seq).collect();
+        assert_eq!(seqs, vec![2, 4]);
+    }
+
+    #[test]
+    fn reply_skips_packets_not_in_history() {
+        let h = history_with(1, &[1, 2]);
+        let cfg = AgConfig::paper_default();
+        let r = request(vec![crate::PacketId::new(id(1), 50)], vec![]);
+        assert!(select_reply_packets(&h, &r, &cfg).is_empty());
+    }
+
+    #[test]
+    fn reply_tail_recovery_starts_at_expected() {
+        let h = history_with(1, &[5, 6, 7, 8, 9, 10, 11, 12]);
+        let cfg = AgConfig {
+            tail_recovery_max: 3,
+            ..AgConfig::paper_default()
+        };
+        // Initiator saw nothing past seq 6 (expected == 7).
+        let r = request(vec![], vec![(id(1), 7)]);
+        let seqs: Vec<u32> = select_reply_packets(&h, &r, &cfg).iter().map(|p| p.id.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9], "oldest first, capped at tail_recovery_max");
+    }
+
+    #[test]
+    fn reply_deduplicates_lost_and_tail() {
+        let h = history_with(1, &[5, 6, 7]);
+        let cfg = AgConfig::paper_default();
+        let r = request(vec![crate::PacketId::new(id(1), 5)], vec![(id(1), 5)]);
+        let mut seqs: Vec<u32> = select_reply_packets(&h, &r, &cfg).iter().map(|p| p.id.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![5, 6, 7], "no duplicates across lost/tail sources");
+    }
+
+    #[test]
+    fn reply_respects_total_budget() {
+        let h = history_with(1, &(1..=50).collect::<Vec<u32>>());
+        let cfg = AgConfig {
+            reply_max_packets: 4,
+            ..AgConfig::paper_default()
+        };
+        let lost: Vec<_> = (1..=10).map(|s| crate::PacketId::new(id(1), s)).collect();
+        let out = select_reply_packets(&h, &request(lost, vec![(id(1), 20)]), &cfg);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn reply_tail_recovery_covers_multiple_origins() {
+        let mut h = history_with(1, &[3, 4]);
+        h.push(crate::PacketRecord {
+            id: crate::PacketId::new(id(2), 7),
+            payload_len: 64,
+        });
+        let cfg = AgConfig::paper_default();
+        let r = request(vec![], vec![(id(1), 3), (id(2), 7)]);
+        let mut got: Vec<(u16, u32)> = select_reply_packets(&h, &r, &cfg)
+            .iter()
+            .map(|p| (p.id.origin.raw(), p.id.seq))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 3), (1, 4), (2, 7)]);
+    }
+
+    // ── full-stack integration ──
+
+    /// Teleports from `a` to `b` at `at`, then back to `a` at `back`.
+    #[derive(Debug)]
+    struct AwayAndBack {
+        a: Vec2,
+        b: Vec2,
+        at: SimTime,
+        back: SimTime,
+        phase: u8,
+    }
+
+    impl Mobility for AwayAndBack {
+        fn position(&self, t: SimTime) -> Vec2 {
+            if t >= self.at && t < self.back {
+                self.b
+            } else {
+                self.a
+            }
+        }
+        fn next_transition(&self) -> SimTime {
+            match self.phase {
+                0 => self.at,
+                1 => self.back,
+                _ => SimTime::MAX,
+            }
+        }
+        fn transition(&mut self, _now: SimTime, _rng: &mut SmallRng) {
+            self.phase += 1;
+        }
+    }
+
+    fn ag_node(i: u16, member: bool, traffic: Option<TrafficSource>) -> AnonymousGossip {
+        AnonymousGossip::new(
+            AgConfig::paper_default(),
+            MaodvConfig::paper_default(),
+            id(i),
+            GroupId(0),
+            member,
+            traffic,
+        )
+    }
+
+    #[test]
+    fn stable_pair_delivers_everything_via_tree() {
+        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 50, 64);
+        let nodes = vec![
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
+                protocol: ag_node(0, true, Some(t)),
+            },
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(40.0, 0.0))),
+                protocol: ag_node(1, true, None),
+            },
+        ];
+        let mut e = Engine::new(PhyParams::paper_default(75.0), 21, nodes);
+        e.run_until(SimTime::from_secs(60));
+        let b = e.protocol(id(1));
+        assert_eq!(b.delivery().distinct(), 50);
+        // In a loss-free pair, gossip recovers little or nothing, and
+        // goodput accounting stays consistent.
+        assert!(b.metrics().reply_packets_useful <= b.metrics().reply_packets_received);
+        // The member cache learned about the source for free.
+        assert!(b.member_cache().entries().iter().any(|e| e.node == id(0)));
+    }
+
+    #[test]
+    fn gossip_recovers_packets_lost_to_a_partition() {
+        // A(member, source) — R — B(member). B walks away at t=40 s and
+        // returns at t=70 s; the source stops sending at t≈50 s, so the
+        // ~50 packets B missed can *only* arrive through gossip pull
+        // (tail recovery: B saw nothing after its departure).
+        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 100, 64);
+        let nodes = vec![
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
+                protocol: ag_node(0, true, Some(t)),
+            },
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(80.0, 0.0))),
+                protocol: ag_node(1, false, None),
+            },
+            NodeSetup {
+                mobility: Box::new(AwayAndBack {
+                    a: Vec2::new(160.0, 0.0),
+                    b: Vec2::new(2000.0, 0.0),
+                    at: SimTime::from_secs(40),
+                    back: SimTime::from_secs(70),
+                    phase: 0,
+                }),
+                protocol: ag_node(2, true, None),
+            },
+        ];
+        let mut e = Engine::new(PhyParams::paper_default(100.0), 22, nodes);
+        e.run_until(SimTime::from_secs(200));
+        let b = e.protocol(id(2));
+        assert!(
+            b.delivery().via_gossip() > 0,
+            "gossip must recover the partition loss; got {:?} tree / {:?} gossip",
+            b.delivery().via_tree(),
+            b.delivery().via_gossip()
+        );
+        assert!(
+            b.delivery().distinct() >= 95,
+            "nearly all 100 packets should be recovered, got {}",
+            b.delivery().distinct()
+        );
+        // The bare tree could not have delivered what B recovered.
+        assert!(b.delivery().via_tree() < 100);
+    }
+
+    #[test]
+    fn goodput_accounting_is_consistent() {
+        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 100, 64);
+        let nodes = vec![
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
+                protocol: ag_node(0, true, Some(t)),
+            },
+            NodeSetup {
+                mobility: Box::new(AwayAndBack {
+                    a: Vec2::new(40.0, 0.0),
+                    b: Vec2::new(2000.0, 0.0),
+                    at: SimTime::from_secs(40),
+                    back: SimTime::from_secs(60),
+                    phase: 0,
+                }),
+                protocol: ag_node(1, true, None),
+            },
+        ];
+        let mut e = Engine::new(PhyParams::paper_default(75.0), 23, nodes);
+        e.run_until(SimTime::from_secs(150));
+        let b = e.protocol(id(1));
+        let m = b.metrics();
+        assert!(m.reply_packets_useful <= m.reply_packets_received);
+        if let Some(g) = m.goodput_percent() {
+            assert!((0.0..=100.0).contains(&g));
+            // Pull-based recovery with explicit ids should be mostly useful.
+            assert!(g > 50.0, "goodput unexpectedly low: {g}");
+        }
+        assert!(m.rounds_total() > 0);
+    }
+
+    #[test]
+    fn non_member_nodes_relay_but_do_not_gossip() {
+        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 20, 64);
+        let nodes = vec![
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
+                protocol: ag_node(0, true, Some(t)),
+            },
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(80.0, 0.0))),
+                protocol: ag_node(1, false, None),
+            },
+            NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(160.0, 0.0))),
+                protocol: ag_node(2, true, None),
+            },
+        ];
+        let mut e = Engine::new(PhyParams::paper_default(100.0), 24, nodes);
+        e.run_until(SimTime::from_secs(60));
+        let router = e.protocol(id(1));
+        assert_eq!(router.metrics().rounds_total(), 0, "non-members never start rounds");
+        assert_eq!(router.delivery().distinct(), 0, "routers do not deliver to an app");
+        // But the far member got everything through it.
+        assert_eq!(e.protocol(id(2)).delivery().distinct(), 20);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_exactly() {
+        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 30, 64);
+        let run = |seed: u64| {
+            let nodes = vec![
+                NodeSetup {
+                    mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
+                    protocol: ag_node(0, true, Some(t)),
+                },
+                NodeSetup {
+                    mobility: Box::new(Stationary::new(Vec2::new(70.0, 0.0))),
+                    protocol: ag_node(1, true, None),
+                },
+                NodeSetup {
+                    mobility: Box::new(Stationary::new(Vec2::new(140.0, 0.0))),
+                    protocol: ag_node(2, true, None),
+                },
+            ];
+            let mut e = Engine::new(PhyParams::paper_default(90.0), seed, nodes);
+            e.run_until(SimTime::from_secs(60));
+            (0..3u16)
+                .map(|i| {
+                    let p = e.protocol(id(i));
+                    (
+                        p.delivery().distinct(),
+                        p.metrics().rounds_anonymous,
+                        p.metrics().rounds_cached,
+                        p.metrics().reply_packets_received,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates every figure of the paper in sequence.
+
+use ag_harness::{figures, report};
+
+fn main() {
+    let seeds = report::env_seeds();
+    let secs = report::env_sim_secs();
+    for spec in figures::all_line_figures() {
+        let spec = spec.with_duration_secs(secs);
+        eprintln!("running {}...", spec.id);
+        let points = spec.run(seeds);
+        println!("{}", report::render_table(spec.title, spec.xlabel, &points));
+    }
+    eprintln!("running fig8...");
+    let series = figures::fig8(seeds, secs);
+    println!("{}", report::render_goodput(&series));
+}

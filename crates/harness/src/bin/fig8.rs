@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 8 (goodput at group members).
+
+use ag_harness::{figures, report};
+
+fn main() {
+    let seeds = report::env_seeds();
+    let secs = report::env_sim_secs();
+    eprintln!("running fig8 (4 configs x {seeds} seeds, {secs} s simulated)...");
+    let series = figures::fig8(seeds, secs);
+    println!("{}", report::render_goodput(&series));
+}

@@ -1,0 +1,225 @@
+//! One spec per paper figure (2–8), mapping §5's sweeps onto
+//! [`crate::experiment::sweep`].
+
+use ag_mobility::density;
+use serde::Serialize;
+
+use crate::experiment::{sweep, SweepPoint};
+use crate::{run_gossip, Scenario};
+
+/// A regenerable figure: base scenario, swept values and the knob they
+/// set.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// "fig2" … "fig7".
+    pub id: &'static str,
+    /// The paper's caption.
+    pub title: &'static str,
+    /// X-axis label.
+    pub xlabel: &'static str,
+    /// Swept values.
+    pub xs: Vec<f64>,
+    /// How a swept value configures the scenario.
+    pub apply: fn(&mut Scenario, f64),
+    /// The fixed-parameter base scenario.
+    pub base: Scenario,
+}
+
+impl FigureSpec {
+    /// Runs the figure's sweep with `seeds` seeds per point.
+    pub fn run(&self, seeds: u64) -> Vec<SweepPoint> {
+        sweep(&self.base, &self.xs, self.apply, seeds)
+    }
+
+    /// Rescales the base scenario (for tests/benches).
+    pub fn with_duration_secs(mut self, secs: u64) -> Self {
+        self.base = self.base.with_duration_secs(secs);
+        self
+    }
+}
+
+fn range_steps() -> Vec<f64> {
+    (0..=8).map(|i| 45.0 + 5.0 * i as f64).collect()
+}
+
+/// Figure 2: packet delivery vs. transmission range (45–85 m), 40
+/// nodes, max speed 0.2 m/s.
+pub fn fig2() -> FigureSpec {
+    FigureSpec {
+        id: "fig2",
+        title: "Packet Delivery vs Transmission Range (max speed 0.2 m/s)",
+        xlabel: "transmission range (m)",
+        xs: range_steps(),
+        apply: |sc, x| sc.range_m = x,
+        base: Scenario::paper(40, 45.0, 0.2),
+    }
+}
+
+/// Figure 3: packet delivery vs. transmission range (45–85 m), 40
+/// nodes, max speed 2 m/s.
+pub fn fig3() -> FigureSpec {
+    FigureSpec {
+        id: "fig3",
+        title: "Packet Delivery vs Transmission Range (max speed 2 m/s)",
+        xlabel: "transmission range (m)",
+        xs: range_steps(),
+        apply: |sc, x| sc.range_m = x,
+        base: Scenario::paper(40, 45.0, 2.0),
+    }
+}
+
+/// Figure 4: packet delivery vs. maximum speed (0.1–1.0 m/s), 40 nodes,
+/// range 75 m.
+pub fn fig4() -> FigureSpec {
+    FigureSpec {
+        id: "fig4",
+        title: "Packet Delivery vs Maximum Speed, slow phase (range 75 m)",
+        xlabel: "max speed (m/s)",
+        xs: (1..=10).map(|i| i as f64 / 10.0).collect(),
+        apply: |sc, x| sc.max_speed = x,
+        base: Scenario::paper(40, 75.0, 0.1),
+    }
+}
+
+/// Figure 5: packet delivery vs. maximum speed (1–10 m/s), 40 nodes,
+/// range 75 m.
+pub fn fig5() -> FigureSpec {
+    FigureSpec {
+        id: "fig5",
+        title: "Packet Delivery vs Maximum Speed, fast phase (range 75 m)",
+        xlabel: "max speed (m/s)",
+        xs: (1..=10).map(|i| i as f64).collect(),
+        apply: |sc, x| sc.max_speed = x,
+        base: Scenario::paper(40, 75.0, 1.0),
+    }
+}
+
+/// Figure 6: packet delivery vs. node count (40–100) with the
+/// transmission range scaled to keep the expected neighbour count
+/// constant (baseline 55 m at 40 nodes); max speed 0.2 m/s.
+pub fn fig6() -> FigureSpec {
+    FigureSpec {
+        id: "fig6",
+        title: "Packet Delivery vs Number of Nodes (constant mean degree)",
+        xlabel: "# nodes in network",
+        xs: (4..=10).map(|i| (i * 10) as f64).collect(),
+        apply: |sc, x| {
+            sc.nodes = x as usize;
+            sc.member_count = (sc.nodes / 3).max(2);
+            sc.range_m = density::range_for_constant_degree(40, 55.0, sc.nodes);
+        },
+        base: Scenario::paper(40, 55.0, 0.2),
+    }
+}
+
+/// Figure 7: packet delivery vs. node count (40–100) at a constant
+/// 55 m transmission range; max speed 0.2 m/s.
+pub fn fig7() -> FigureSpec {
+    FigureSpec {
+        id: "fig7",
+        title: "Packet Delivery vs Number of Nodes (range 55 m)",
+        xlabel: "# nodes in network",
+        xs: (4..=10).map(|i| (i * 10) as f64).collect(),
+        apply: |sc, x| {
+            sc.nodes = x as usize;
+            sc.member_count = (sc.nodes / 3).max(2);
+        },
+        base: Scenario::paper(40, 55.0, 0.2),
+    }
+}
+
+/// All line figures, in paper order.
+pub fn all_line_figures() -> Vec<FigureSpec> {
+    vec![fig2(), fig3(), fig4(), fig5(), fig6(), fig7()]
+}
+
+/// One Figure 8 series: per-member goodput for a (range, speed)
+/// configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct GoodputSeries {
+    /// Legend label, e.g. `"45m, 0.2m/s"`.
+    pub label: String,
+    /// Transmission range (m).
+    pub range_m: f64,
+    /// Maximum speed (m/s).
+    pub max_speed: f64,
+    /// Per-member goodput observations pooled over seeds, sorted by
+    /// member index within each run.
+    pub member_goodput: Vec<f64>,
+}
+
+/// Figure 8: goodput at the group members for
+/// {45 m, 75 m} × {0.2 m/s, 2 m/s} (gossip runs only).
+pub fn fig8(seeds: u64, duration_secs: u64) -> Vec<GoodputSeries> {
+    let configs = [(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)];
+    configs
+        .iter()
+        .map(|&(range, speed)| {
+            let sc = Scenario::paper(40, range, speed).with_duration_secs(duration_secs);
+            let mut member_goodput = Vec::new();
+            for seed in 0..seeds {
+                let r = run_gossip(&sc, seed);
+                for m in r.receivers() {
+                    if let Some(g) = m.goodput_percent {
+                        member_goodput.push(g);
+                    }
+                }
+            }
+            GoodputSeries {
+                label: format!("{range}m, {speed}m/s"),
+                range_m: range,
+                max_speed: speed,
+                member_goodput,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_axes_match_the_paper() {
+        let f2 = fig2();
+        assert_eq!(f2.xs.first(), Some(&45.0));
+        assert_eq!(f2.xs.last(), Some(&85.0));
+        assert_eq!(f2.xs.len(), 9);
+        let f4 = fig4();
+        assert_eq!(f4.xs.first(), Some(&0.1));
+        assert_eq!(f4.xs.last(), Some(&1.0));
+        let f5 = fig5();
+        assert_eq!(f5.xs.last(), Some(&10.0));
+        let f6 = fig6();
+        assert_eq!(f6.xs, vec![40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+    }
+
+    #[test]
+    fn fig6_scales_range_with_node_count() {
+        let f6 = fig6();
+        let mut sc = f6.base.clone();
+        (f6.apply)(&mut sc, 100.0);
+        assert_eq!(sc.nodes, 100);
+        assert!(sc.range_m < 55.0);
+        assert_eq!(sc.member_count, 33);
+        // Degree is preserved vs. the 40-node baseline.
+        let d40 = ag_mobility::density::expected_degree(40, 55.0, sc.field);
+        let d100 = ag_mobility::density::expected_degree(100, sc.range_m, sc.field);
+        assert!((d40 - d100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig7_keeps_range_fixed() {
+        let f7 = fig7();
+        let mut sc = f7.base.clone();
+        (f7.apply)(&mut sc, 80.0);
+        assert_eq!(sc.range_m, 55.0);
+        assert_eq!(sc.nodes, 80);
+    }
+
+    #[test]
+    fn all_line_figures_enumerates_six() {
+        let ids: Vec<&str> = all_line_figures().iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec!["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]);
+    }
+}

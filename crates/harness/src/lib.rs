@@ -1,0 +1,33 @@
+//! # ag-harness: the paper's evaluation, regenerated
+//!
+//! Everything in §5 of *Anonymous Gossip* (ICDCS 2001) is reproducible
+//! from this crate:
+//!
+//! * [`Scenario`] — the §5.1 simulation environment (200 m × 200 m
+//!   field, random waypoint with `U(0, 80 s)` pauses, ⅓ of nodes in one
+//!   group, a single CBR source emitting 2201 64-byte packets, 802.11 at
+//!   2 Mbps) with every paper knob (range, speed, node count) exposed.
+//! * [`RunResult`] / [`run_gossip`] / [`run_maodv`] — one simulation run
+//!   of either protocol stack, reduced to per-member delivery counts and
+//!   gossip metrics.
+//! * [`experiment`] — multi-seed parameter sweeps producing the paper's
+//!   "average with min/max error bars across receivers" series.
+//! * [`figures`] — one [`figures::FigureSpec`] per paper figure (2–8).
+//! * [`report`] — ASCII/CSV rendering of a regenerated figure.
+//!
+//! The `fig2` … `fig8` binaries print each figure's series; environment
+//! variables `AG_SEEDS` (default 10) and `AG_SIM_SECS` (default 600)
+//! scale the sweep down for quick runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod result;
+mod scenario;
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use result::{MemberStats, RunResult};
+pub use scenario::{run, run_gossip, run_maodv, run_odmrp, ProtocolKind, Scenario, GROUP};

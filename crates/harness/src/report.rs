@@ -1,0 +1,154 @@
+//! Rendering regenerated figures as ASCII tables and CSV.
+
+use std::fmt::Write as _;
+
+use crate::experiment::SweepPoint;
+use crate::figures::GoodputSeries;
+
+/// Environment knob: seeds per sweep point (`AG_SEEDS`, default 10 —
+/// the paper's count).
+pub fn env_seeds() -> u64 {
+    std::env::var("AG_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+}
+
+/// Environment knob: run length in seconds (`AG_SIM_SECS`, default 600
+/// — the paper's). Scaled runs keep the paper's warm-up proportions.
+pub fn env_sim_secs() -> u64 {
+    std::env::var("AG_SIM_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(600)
+}
+
+/// Renders a line figure as a fixed-width table mirroring the paper's
+/// series: per x-value, mean packets received with the min–max error
+/// bar, for both protocols.
+pub fn render_table(title: &str, xlabel: &str, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    if let Some(p) = points.first() {
+        let _ = writeln!(out, "# packets multicast by the source: {}", p.sent);
+    }
+    let _ = writeln!(
+        out,
+        "{:>18} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>7}",
+        xlabel, "maodv", "min", "max", "gossip", "min", "max", "gain"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(93));
+    for p in points {
+        let gain = if p.maodv.mean() > 0.0 {
+            p.gossip.mean() / p.maodv.mean()
+        } else {
+            f64::INFINITY
+        };
+        let _ = writeln!(
+            out,
+            "{:>18.2} | {:>8.1} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} {:>8.1} | {:>6.2}x",
+            p.x,
+            p.maodv.mean(),
+            p.maodv.min(),
+            p.maodv.max(),
+            p.gossip.mean(),
+            p.gossip.min(),
+            p.gossip.max(),
+            gain
+        );
+    }
+    out
+}
+
+/// Renders a line figure as CSV (one row per x-value).
+pub fn render_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from("x,sent,maodv_mean,maodv_min,maodv_max,maodv_sd,gossip_mean,gossip_min,gossip_max,gossip_sd,goodput_mean\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            p.x,
+            p.sent,
+            p.maodv.mean(),
+            p.maodv.min(),
+            p.maodv.max(),
+            p.maodv.stddev(),
+            p.gossip.mean(),
+            p.gossip.min(),
+            p.gossip.max(),
+            p.gossip.stddev(),
+            p.goodput.mean(),
+        );
+    }
+    out
+}
+
+/// Renders Figure 8's per-member goodput series.
+pub fn render_goodput(series: &[GoodputSeries]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Goodput at group members (percent, per member, pooled over seeds)");
+    for s in series {
+        let summary: ag_sim::stats::Summary = s.member_goodput.iter().copied().collect();
+        let _ = writeln!(
+            out,
+            "{:>12}: n={:<4} mean={:>6.2}% min={:>6.2}% max={:>6.2}%",
+            s.label,
+            summary.count(),
+            summary.mean(),
+            summary.min(),
+            summary.max()
+        );
+        let values: Vec<String> = s.member_goodput.iter().map(|g| format!("{g:.1}")).collect();
+        let _ = writeln!(out, "              [{}]", values.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_sim::stats::Summary;
+
+    fn point(x: f64) -> SweepPoint {
+        SweepPoint {
+            x,
+            sent: 100,
+            maodv: [50.0, 70.0].into_iter().collect(),
+            gossip: [80.0, 90.0].into_iter().collect(),
+            goodput: Summary::new(),
+        }
+    }
+
+    #[test]
+    fn table_contains_series() {
+        let t = render_table("Fig X", "range (m)", &[point(45.0), point(50.0)]);
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("45.00"));
+        assert!(t.contains("60.0")); // maodv mean
+        assert!(t.contains("85.0")); // gossip mean
+        assert!(t.contains("1.42x")); // gain
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = render_csv(&[point(45.0)]);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("x,sent,"));
+        assert!(lines[1].starts_with("45,100,"));
+    }
+
+    #[test]
+    fn goodput_rendering() {
+        let s = GoodputSeries {
+            label: "45m, 0.2m/s".into(),
+            range_m: 45.0,
+            max_speed: 0.2,
+            member_goodput: vec![99.0, 100.0],
+        };
+        let r = render_goodput(&[s]);
+        assert!(r.contains("45m, 0.2m/s"));
+        assert!(r.contains("99.5"));
+    }
+
+    #[test]
+    fn env_defaults() {
+        // No env vars set in tests: paper defaults.
+        assert_eq!(env_seeds(), 10);
+        assert_eq!(env_sim_secs(), 600);
+    }
+}

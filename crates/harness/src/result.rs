@@ -1,0 +1,124 @@
+//! Reduced results of one simulation run.
+
+use ag_net::NodeId;
+use ag_sim::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+use crate::ProtocolKind;
+
+/// One member's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemberStats {
+    /// The member.
+    pub node: NodeId,
+    /// Distinct data packets received (the paper's y-axis).
+    pub received: u64,
+    /// Of those, first delivered along the multicast tree.
+    pub via_tree: u64,
+    /// Of those, first delivered by a gossip reply.
+    pub via_gossip: u64,
+    /// §5.5 goodput, if any reply traffic was received.
+    pub goodput_percent: Option<f64>,
+    /// Gossip rounds this member ran.
+    pub gossip_rounds: u64,
+}
+
+/// The reduced outcome of one `(scenario, seed, protocol)` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Which stack ran.
+    pub protocol: ProtocolKind,
+    /// The master seed.
+    pub seed: u64,
+    /// The source member.
+    pub source: NodeId,
+    /// Packets the source emitted.
+    pub sent: u64,
+    /// Per-member outcomes (source included).
+    pub members: Vec<MemberStats>,
+    /// Engine counters at the end of the run.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunResult {
+    /// Member stats excluding the source (which trivially has all its
+    /// own packets); this is what the figures aggregate.
+    pub fn receivers(&self) -> impl Iterator<Item = &MemberStats> {
+        let source = self.source;
+        self.members.iter().filter(move |m| m.node != source)
+    }
+
+    /// Summary of packets received across receivers (the paper's data
+    /// point: mean plus min/max error bar).
+    pub fn received_summary(&self) -> Summary {
+        self.receivers().map(|m| m.received as f64).collect()
+    }
+
+    /// Mean delivery ratio across receivers, in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.received_summary().mean() / self.sent as f64
+    }
+
+    /// Value of an engine counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(node: u16, received: u64) -> MemberStats {
+        MemberStats {
+            node: NodeId::new(node),
+            received,
+            via_tree: received,
+            via_gossip: 0,
+            goodput_percent: None,
+            gossip_rounds: 0,
+        }
+    }
+
+    fn result() -> RunResult {
+        RunResult {
+            protocol: ProtocolKind::Maodv,
+            seed: 0,
+            source: NodeId::new(0),
+            sent: 100,
+            members: vec![stats(0, 100), stats(1, 80), stats(2, 60)],
+            counters: vec![("x".into(), 5)],
+        }
+    }
+
+    #[test]
+    fn receivers_exclude_source() {
+        let r = result();
+        let ids: Vec<NodeId> = r.receivers().map(|m| m.node).collect();
+        assert_eq!(ids, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn summary_and_ratio() {
+        let r = result();
+        let s = r.received_summary();
+        assert_eq!(s.mean(), 70.0);
+        assert_eq!(s.min(), 60.0);
+        assert_eq!(s.max(), 80.0);
+        assert!((r.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let r = result();
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.counter("missing"), 0);
+    }
+}

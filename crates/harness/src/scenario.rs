@@ -1,0 +1,321 @@
+//! The §5.1 simulation environment, parameterized by the paper's three
+//! sweep knobs (transmission range, maximum speed, node count).
+
+use ag_core::{AgConfig, AnonymousGossip};
+use ag_maodv::{GroupId, MaodvConfig, MaodvProtocol, TrafficSource};
+use ag_mobility::{Field, Mobility, PauseRange, RandomWaypoint, SpeedRange};
+use ag_net::{Engine, NodeId, NodeSetup, PhyParams, Protocol};
+use ag_sim::rng::{SeedSplitter, StreamKind};
+use ag_sim::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::result::{MemberStats, RunResult};
+
+/// Which protocol stack a run uses (the paper's two series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Bare MAODV (baseline).
+    Maodv,
+    /// MAODV + Anonymous Gossip.
+    Gossip,
+    /// Bare ODMRP (the mesh-based related-work comparison, §2).
+    Odmrp,
+}
+
+/// A complete experiment configuration.
+///
+/// [`Scenario::paper`] gives the §5.1 defaults; the figure specs mutate
+/// one knob at a time.
+///
+/// # Example
+///
+/// ```
+/// use ag_harness::{Scenario, run_gossip};
+/// let sc = Scenario::paper(10, 75.0, 0.2).with_duration_secs(40);
+/// let result = run_gossip(&sc, 1);
+/// assert_eq!(result.members.len(), 3); // a third of 10, rounded down, min 2
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Total node count (paper default 40).
+    pub nodes: usize,
+    /// Group size (paper: one third of the nodes).
+    pub member_count: usize,
+    /// Transmission range in metres.
+    pub range_m: f64,
+    /// Minimum node speed, m/s (paper: 0).
+    pub min_speed: f64,
+    /// Maximum node speed, m/s.
+    pub max_speed: f64,
+    /// Field dimensions (paper: 200 m × 200 m).
+    pub field: Field,
+    /// Total simulated time (paper: 600 s).
+    pub sim_time: SimTime,
+    /// The CBR source description.
+    pub traffic: TrafficSource,
+    /// Gossip parameters.
+    pub ag: AgConfig,
+    /// MAODV parameters.
+    pub maodv: MaodvConfig,
+}
+
+impl Scenario {
+    /// The paper's environment with the given node count, transmission
+    /// range and maximum speed. Members are a third of the nodes
+    /// (minimum 2); the first member is the source; traffic is 64-byte
+    /// packets every 200 ms from 120 s to 560 s (2201 packets).
+    pub fn paper(nodes: usize, range_m: f64, max_speed: f64) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        Scenario {
+            nodes,
+            member_count: (nodes / 3).max(2),
+            range_m,
+            min_speed: 0.0,
+            max_speed,
+            field: Field::paper(),
+            sim_time: SimTime::from_secs(600),
+            traffic: TrafficSource::paper(),
+            ag: AgConfig::paper_default(),
+            maodv: MaodvConfig::paper_default(),
+        }
+    }
+
+    /// Rescales the run to `secs` seconds, keeping the paper's
+    /// proportions: warm-up is the first 20 % and the source stops at
+    /// 93.3 % of the run, with the packet interval unchanged. Use for
+    /// tests and benches.
+    pub fn with_duration_secs(mut self, secs: u64) -> Self {
+        self.sim_time = SimTime::from_secs(secs);
+        self.traffic = TrafficSource {
+            start: SimTime::from_secs(secs / 5),
+            end: SimTime::from_secs(secs * 14 / 15),
+            interval: self.traffic.interval,
+            payload_len: self.traffic.payload_len,
+        };
+        self
+    }
+
+    /// Number of data packets the source will emit.
+    pub fn packets_sent(&self) -> u64 {
+        self.traffic.packet_count()
+    }
+
+    /// The member node ids for a given seed (uniform distinct choice;
+    /// the first is the source).
+    pub fn members_for_seed(&self, seed: u64) -> Vec<NodeId> {
+        let mut rng = SeedSplitter::new(seed).stream(StreamKind::Scenario, 0);
+        let mut picked: Vec<usize> = Vec::with_capacity(self.member_count);
+        while picked.len() < self.member_count.min(self.nodes) {
+            let c = rng.random_range(0..self.nodes);
+            if !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        picked.into_iter().map(|i| NodeId::new(i as u16)).collect()
+    }
+
+    fn mobility_for(&self, seed: u64, node: usize) -> Box<dyn Mobility> {
+        let mut rng = SeedSplitter::new(seed).stream(StreamKind::Placement, node as u64);
+        Box::new(RandomWaypoint::new(
+            self.field,
+            SpeedRange::new(self.min_speed, self.max_speed.max(1e-3)),
+            PauseRange::paper(),
+            &mut rng,
+        ))
+    }
+
+    fn phy(&self) -> PhyParams {
+        PhyParams::paper_default(self.range_m)
+    }
+}
+
+/// The group id used throughout (single-group scenarios, as in §5.1).
+pub const GROUP: GroupId = GroupId(0);
+
+fn build_engine<P, F>(sc: &Scenario, seed: u64, mut make: F) -> (Engine<P>, Vec<NodeId>, NodeId)
+where
+    P: Protocol,
+    F: FnMut(NodeId, bool, Option<TrafficSource>) -> P,
+{
+    let members = sc.members_for_seed(seed);
+    let source = members[0];
+    let nodes = (0..sc.nodes)
+        .map(|i| {
+            let id = NodeId::new(i as u16);
+            let is_member = members.contains(&id);
+            let traffic = (id == source).then_some(sc.traffic);
+            NodeSetup {
+                mobility: sc.mobility_for(seed, i),
+                protocol: make(id, is_member, traffic),
+            }
+        })
+        .collect();
+    (Engine::new(sc.phy(), seed, nodes), members, source)
+}
+
+/// Runs the gossip stack (MAODV + AG) once. Deterministic in
+/// `(scenario, seed)`.
+pub fn run_gossip(sc: &Scenario, seed: u64) -> RunResult {
+    let (mut engine, members, source) =
+        build_engine(sc, seed, |id, member, traffic| {
+            AnonymousGossip::new(sc.ag, sc.maodv, id, GROUP, member, traffic)
+        });
+    engine.run_until(sc.sim_time);
+    let member_stats = members
+        .iter()
+        .map(|&m| {
+            let p = engine.protocol(m);
+            MemberStats {
+                node: m,
+                received: p.delivery().distinct(),
+                via_tree: p.delivery().via_tree(),
+                via_gossip: p.delivery().via_gossip(),
+                goodput_percent: p.metrics().goodput_percent(),
+                gossip_rounds: p.metrics().rounds_total(),
+            }
+        })
+        .collect();
+    RunResult {
+        protocol: ProtocolKind::Gossip,
+        seed,
+        source,
+        sent: sc.packets_sent(),
+        members: member_stats,
+        counters: engine.counters().iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    }
+}
+
+/// Runs the bare-MAODV baseline once. Deterministic in
+/// `(scenario, seed)`.
+pub fn run_maodv(sc: &Scenario, seed: u64) -> RunResult {
+    let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
+        MaodvProtocol::new(sc.maodv, id, GROUP, member, traffic)
+    });
+    engine.run_until(sc.sim_time);
+    let member_stats = members
+        .iter()
+        .map(|&m| {
+            let p = engine.protocol(m);
+            MemberStats {
+                node: m,
+                received: p.delivery().distinct(),
+                via_tree: p.delivery().via_tree(),
+                via_gossip: 0,
+                goodput_percent: None,
+                gossip_rounds: 0,
+            }
+        })
+        .collect();
+    RunResult {
+        protocol: ProtocolKind::Maodv,
+        seed,
+        source,
+        sent: sc.packets_sent(),
+        members: member_stats,
+        counters: engine.counters().iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    }
+}
+
+/// Runs the bare-ODMRP mesh baseline once (the related-work comparison
+/// point of the paper's §2). Deterministic in `(scenario, seed)`.
+pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
+    let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
+        ag_odmrp::OdmrpProtocol::new(ag_odmrp::OdmrpConfig::default_paper(), id, GROUP, member, traffic)
+    });
+    engine.run_until(sc.sim_time);
+    let member_stats = members
+        .iter()
+        .map(|&m| {
+            let p = engine.protocol(m);
+            MemberStats {
+                node: m,
+                received: p.delivery().distinct(),
+                via_tree: p.delivery().via_tree(),
+                via_gossip: 0,
+                goodput_percent: None,
+                gossip_rounds: 0,
+            }
+        })
+        .collect();
+    RunResult {
+        protocol: ProtocolKind::Odmrp,
+        seed,
+        source,
+        sent: sc.packets_sent(),
+        members: member_stats,
+        counters: engine.counters().iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    }
+}
+
+/// Runs the requested protocol stack once.
+pub fn run(sc: &Scenario, seed: u64, kind: ProtocolKind) -> RunResult {
+    match kind {
+        ProtocolKind::Maodv => run_maodv(sc, seed),
+        ProtocolKind::Gossip => run_gossip(sc, seed),
+        ProtocolKind::Odmrp => run_odmrp(sc, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_sim::SimDuration;
+
+    #[test]
+    fn paper_scenario_defaults() {
+        let sc = Scenario::paper(40, 75.0, 0.2);
+        assert_eq!(sc.member_count, 13);
+        assert_eq!(sc.packets_sent(), 2201);
+        assert_eq!(sc.sim_time, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn scaled_scenario_shrinks_traffic() {
+        let sc = Scenario::paper(40, 75.0, 0.2).with_duration_secs(60);
+        assert_eq!(sc.sim_time, SimTime::from_secs(60));
+        assert_eq!(sc.traffic.start, SimTime::from_secs(12));
+        assert_eq!(sc.traffic.end, SimTime::from_secs(56));
+        assert!(sc.packets_sent() < 2201);
+        assert_eq!(sc.traffic.interval, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn member_selection_is_deterministic_and_distinct() {
+        let sc = Scenario::paper(40, 75.0, 0.2);
+        let a = sc.members_for_seed(7);
+        let b = sc.members_for_seed(7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 13);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 13);
+        // Different seeds give different groups (overwhelmingly likely).
+        assert_ne!(sc.members_for_seed(7), sc.members_for_seed(8));
+    }
+
+    #[test]
+    fn small_scenario_runs_both_protocols() {
+        let sc = Scenario::paper(10, 90.0, 0.2).with_duration_secs(50);
+        let g = run_gossip(&sc, 1);
+        let m = run_maodv(&sc, 1);
+        assert_eq!(g.protocol, ProtocolKind::Gossip);
+        assert_eq!(m.protocol, ProtocolKind::Maodv);
+        assert_eq!(g.members.len(), m.members.len());
+        assert_eq!(g.source, m.source);
+        // The source itself always holds everything it sent.
+        let src_stats = g.members.iter().find(|s| s.node == g.source).unwrap();
+        assert_eq!(src_stats.received, g.sent);
+    }
+
+    #[test]
+    fn identical_seeds_identical_results() {
+        let sc = Scenario::paper(8, 90.0, 1.0).with_duration_secs(40);
+        let a = run_gossip(&sc, 3);
+        let b = run_gossip(&sc, 3);
+        let fa: Vec<_> = a.members.iter().map(|m| (m.node, m.received, m.via_gossip)).collect();
+        let fb: Vec<_> = b.members.iter().map(|m| (m.node, m.received, m.via_gossip)).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,165 @@
+//! Neighbour liveness tracking (HELLO-based link sensing).
+//!
+//! Every frame heard from a neighbour refreshes it; a neighbour that has
+//! been silent for `allowed_hello_loss × hello_interval` (2.4 s with the
+//! paper's settings) is considered gone and any tree/route state through
+//! it is torn down by the caller.
+
+use std::collections::HashMap;
+
+use ag_net::NodeId;
+use ag_sim::{SimDuration, SimTime};
+
+/// Tracks when each neighbour was last heard.
+///
+/// # Example
+///
+/// ```
+/// use ag_maodv::neighbors::NeighborTable;
+/// use ag_net::NodeId;
+/// use ag_sim::{SimTime, SimDuration};
+///
+/// let timeout = SimDuration::from_millis(2400);
+/// let mut nt = NeighborTable::new(timeout);
+/// nt.heard(NodeId::new(3), SimTime::ZERO);
+/// assert!(nt.is_alive(NodeId::new(3), SimTime::ZERO + SimDuration::from_secs(1)));
+/// assert!(!nt.is_alive(NodeId::new(3), SimTime::ZERO + SimDuration::from_secs(3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    last_heard: HashMap<NodeId, SimTime>,
+    timeout: SimDuration,
+}
+
+impl NeighborTable {
+    /// Creates a table with the given liveness timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        NeighborTable {
+            last_heard: HashMap::new(),
+            timeout,
+        }
+    }
+
+    /// Records that any frame from `who` was heard at `now`.
+    pub fn heard(&mut self, who: NodeId, now: SimTime) {
+        self.last_heard.insert(who, now);
+    }
+
+    /// `true` if `who` has been heard within the timeout.
+    pub fn is_alive(&self, who: NodeId, now: SimTime) -> bool {
+        self.last_heard
+            .get(&who)
+            .is_some_and(|&t| now.duration_since(t) < self.timeout)
+    }
+
+    /// When `who` was last heard, if ever.
+    pub fn last_heard(&self, who: NodeId) -> Option<SimTime> {
+        self.last_heard.get(&who).copied()
+    }
+
+    /// Removes and returns every neighbour that has timed out by `now`,
+    /// in id order (deterministic regardless of hash-map seeding).
+    pub fn sweep_dead(&mut self, now: SimTime) -> Vec<NodeId> {
+        let timeout = self.timeout;
+        let mut dead: Vec<NodeId> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now.duration_since(t) >= timeout)
+            .map(|(n, _)| *n)
+            .collect();
+        dead.sort_unstable();
+        for n in &dead {
+            self.last_heard.remove(n);
+        }
+        dead
+    }
+
+    /// Forgets `who` entirely.
+    pub fn forget(&mut self, who: NodeId) {
+        self.last_heard.remove(&who);
+    }
+
+    /// All currently live neighbours at `now`, in id order.
+    pub fn alive(&self, now: SimTime) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now.duration_since(t) < self.timeout)
+            .map(|(n, _)| *n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of tracked (possibly stale) neighbours.
+    pub fn len(&self) -> usize {
+        self.last_heard.len()
+    }
+
+    /// `true` if no neighbour was ever heard.
+    pub fn is_empty(&self) -> bool {
+        self.last_heard.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nt() -> NeighborTable {
+        NeighborTable::new(SimDuration::from_millis(2400))
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn fresh_neighbor_is_alive() {
+        let mut n = nt();
+        n.heard(NodeId::new(1), t(0));
+        assert!(n.is_alive(NodeId::new(1), t(2399)));
+        assert!(!n.is_alive(NodeId::new(1), t(2400)));
+        assert!(!n.is_alive(NodeId::new(2), t(0)));
+    }
+
+    #[test]
+    fn hearing_refreshes() {
+        let mut n = nt();
+        n.heard(NodeId::new(1), t(0));
+        n.heard(NodeId::new(1), t(2000));
+        assert!(n.is_alive(NodeId::new(1), t(4000)));
+        assert_eq!(n.last_heard(NodeId::new(1)), Some(t(2000)));
+    }
+
+    #[test]
+    fn sweep_removes_only_dead() {
+        let mut n = nt();
+        n.heard(NodeId::new(1), t(0));
+        n.heard(NodeId::new(2), t(3000));
+        let dead = n.sweep_dead(t(4000));
+        assert_eq!(dead, vec![NodeId::new(1)]);
+        assert_eq!(n.len(), 1);
+        assert!(n.is_alive(NodeId::new(2), t(4000)));
+        // Swept neighbours are fully forgotten.
+        assert_eq!(n.last_heard(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn alive_is_sorted() {
+        let mut n = nt();
+        n.heard(NodeId::new(5), t(0));
+        n.heard(NodeId::new(2), t(0));
+        n.heard(NodeId::new(9), t(0));
+        assert_eq!(n.alive(t(1)), vec![NodeId::new(2), NodeId::new(5), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn forget_and_empty() {
+        let mut n = nt();
+        assert!(n.is_empty());
+        n.heard(NodeId::new(1), t(0));
+        n.forget(NodeId::new(1));
+        assert!(n.is_empty());
+    }
+}

@@ -1,0 +1,1208 @@
+//! The MAODV node state machine.
+//!
+//! [`Maodv`] is deliberately *not* an [`ag_net::Protocol`]: its handlers
+//! return [`Upcall`]s so a wrapping layer (Anonymous Gossip in `ag-core`,
+//! or the bare [`crate::MaodvProtocol`] baseline) can observe deliveries,
+//! membership sightings and extension frames without callback traits.
+//!
+//! The flow of a group join (paper §3):
+//!
+//! ```text
+//! member S            routers                tree node T
+//!   │  RREQ(join) ───────▶ rebroadcast ─────────▶ │
+//!   │ ◀──────────── RREP (reverse path) ───────── │   (collect rrep_wait)
+//!   │  MACT(join) ──▶ enable + cascade up ───────▶ │   (branch activated)
+//! ```
+//!
+//! A failed join (no RREP after `rreq_retries`) makes the member the
+//! group leader of its partition; GRPH floods merge partitions later.
+//! Link breaks are repaired by the *downstream* node only, using the
+//! hop-count-to-leader RREQ extension to rule out replies from its own
+//! subtree (loop prevention).
+
+use std::collections::HashMap;
+
+use ag_net::{Message, NodeApi, NodeId, RxKind, TimerKey};
+use ag_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::messages::{
+    DataHeader, GrphPayload, MactKind, MactPayload, MaodvMsg, RoutedExt, RrepPayload, RreqPayload,
+};
+use crate::mrt::MulticastRouteTable;
+use crate::neighbors::NeighborTable;
+use crate::route_table::RouteTable;
+use crate::seen::SeenCache;
+use crate::{GroupId, MaodvConfig};
+
+/// Timer: periodic HELLO broadcast.
+pub const TIMER_HELLO: TimerKey = 1;
+/// Timer: housekeeping tick (timeouts, retries, liveness sweep).
+pub const TIMER_TICK: TimerKey = 2;
+/// Timer: leader's periodic group hello.
+pub const TIMER_GRPH: TimerKey = 3;
+/// Timer: a member's jittered initial join.
+pub const TIMER_JOIN_START: TimerKey = 4;
+/// Timer: jittered flood-relay drain (RREQ/GRPH rebroadcasts).
+pub const TIMER_RELAY: TimerKey = 5;
+/// First timer key available to layers above MAODV.
+pub const TIMER_USER_BASE: TimerKey = 64;
+
+/// Events surfaced to the layer above MAODV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Upcall<X> {
+    /// A multicast data packet was delivered to this (member) node along
+    /// the tree.
+    DataReceived {
+        /// Originating member.
+        origin: NodeId,
+        /// Per-origin sequence number.
+        seq: u32,
+        /// Payload length (bytes).
+        payload_len: u16,
+        /// Tree hops it travelled.
+        hops: u8,
+    },
+    /// A group member was observed `hops` away — the free membership
+    /// information the AG member cache feeds on (§4.3).
+    MemberObserved {
+        /// The member.
+        member: NodeId,
+        /// Its observed distance in hops.
+        hops: u8,
+    },
+    /// A one-hop extension frame arrived (gossip walk step).
+    ExtNeighbor {
+        /// The neighbour that sent it.
+        from: NodeId,
+        /// The payload.
+        msg: X,
+    },
+    /// A routed extension frame arrived at its destination.
+    ExtRouted {
+        /// The original sender.
+        src: NodeId,
+        /// Hops it travelled.
+        hops: u8,
+        /// The payload.
+        msg: X,
+    },
+    /// This node's branch to the multicast tree was activated.
+    JoinedTree,
+    /// This node became the group leader (first member or partition).
+    BecameLeader,
+}
+
+/// An in-flight join or repair attempt at this node.
+#[derive(Debug, Clone)]
+struct JoinAttempt {
+    rreq_id: u32,
+    sent_at: SimTime,
+    retries: u32,
+    /// `Some(old_hops_to_leader)` when repairing a broken tree link.
+    repair: Option<u8>,
+    candidates: Vec<JoinCandidate>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JoinCandidate {
+    via: NodeId,
+    group_seq: u32,
+    hops_to_tree: u8,
+    leader_hops: u8,
+}
+
+/// Bookkeeping at an intermediate node that forwarded a join RREP and may
+/// receive the MACT cascade.
+#[derive(Debug, Clone, Copy)]
+struct PendingJoin {
+    upstream: NodeId,
+    group_seq: u32,
+    hops_to_tree: u8,
+    leader_hops: u8,
+    expires: SimTime,
+}
+
+/// An in-flight unicast route discovery with its packet buffer.
+#[derive(Debug)]
+struct Discovery<X> {
+    rreq_id: u32,
+    sent_at: SimTime,
+    retries: u32,
+    buffer: Vec<X>,
+}
+
+/// The MAODV routing state of one node. See module docs.
+#[derive(Debug)]
+pub struct Maodv<X: Message> {
+    cfg: MaodvConfig,
+    id: NodeId,
+    group: GroupId,
+    is_member: bool,
+    is_leader: bool,
+    node_seq: u32,
+    next_rreq_id: u32,
+    data_seq: u32,
+    rt: RouteTable,
+    mrt: MulticastRouteTable,
+    neighbors: NeighborTable,
+    join: Option<JoinAttempt>,
+    pending_joins: HashMap<(NodeId, u32), PendingJoin>,
+    discoveries: HashMap<NodeId, Discovery<X>>,
+    rreq_seen: SeenCache<(NodeId, u32)>,
+    data_seen: SeenCache<(NodeId, u32)>,
+    grph_seen: SeenCache<(NodeId, u32)>,
+    /// Last `nearest_member` value advertised to each neighbour (§4.2:
+    /// send only on change).
+    nm_sent: HashMap<NodeId, u8>,
+    /// Best join-RREP already forwarded per (origin, rreq_id): suppresses
+    /// worse duplicates of the reply flood.
+    forwarded_rreps: HashMap<(NodeId, u32), (u32, u8)>,
+    /// Set once the member's initial (jittered) join has fired; gates the
+    /// tick's re-join self-healing so it cannot pre-empt the join jitter.
+    join_started: bool,
+    /// Last time a tree-scoped GRPH arrived from our upstream (or we led
+    /// / grafted). `None` until first tree contact. Staleness means the
+    /// path to the leader is gone even if the local tree edges look fine.
+    last_tree_grph: Option<SimTime>,
+    /// Newest `(leader, group_seq)` adopted from a tree-scoped GRPH;
+    /// dedupes the downward relay.
+    adopted_grph: Option<(NodeId, u32)>,
+    /// Flood frames awaiting their jittered rebroadcast (see
+    /// [`Maodv::schedule_relay`]).
+    relay_queue: std::collections::VecDeque<MaodvMsg<X>>,
+}
+
+type Api<'a, X> = NodeApi<'a, MaodvMsg<X>>;
+
+impl<X: Message> Maodv<X> {
+    /// Creates the routing state for `id`. Members join the group after a
+    /// random jitter once [`Maodv::start`] runs.
+    pub fn new(cfg: MaodvConfig, id: NodeId, group: GroupId, is_member: bool) -> Self {
+        Maodv {
+            id,
+            group,
+            is_member,
+            is_leader: false,
+            node_seq: 0,
+            next_rreq_id: 0,
+            data_seq: 0,
+            rt: RouteTable::new(),
+            mrt: MulticastRouteTable::new(group, cfg.nearest_member_infinity),
+            neighbors: NeighborTable::new(cfg.neighbor_timeout()),
+            join: None,
+            pending_joins: HashMap::new(),
+            discoveries: HashMap::new(),
+            rreq_seen: SeenCache::new(cfg.rreq_seen_capacity),
+            data_seen: SeenCache::new(cfg.data_seen_capacity),
+            grph_seen: SeenCache::new(cfg.rreq_seen_capacity),
+            nm_sent: HashMap::new(),
+            forwarded_rreps: HashMap::new(),
+            join_started: false,
+            last_tree_grph: None,
+            adopted_grph: None,
+            relay_queue: std::collections::VecDeque::new(),
+            cfg,
+        }
+    }
+
+    /// `true` if this node has recent proof of a live tree path to the
+    /// group leader (it is the leader, or tree-scoped group hellos are
+    /// arriving, or it grafted very recently).
+    pub fn tree_connected(&self, now: SimTime) -> bool {
+        if self.is_leader {
+            return true;
+        }
+        match self.last_tree_grph {
+            None => false,
+            Some(t) => now.duration_since(t) < self.cfg.group_hello_interval * 5 / 2,
+        }
+    }
+
+    // ───────────────────────── accessors ─────────────────────────
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The multicast group.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Whether this node is a group member (application-level).
+    pub fn is_member(&self) -> bool {
+        self.is_member
+    }
+
+    /// Whether this node is currently the group leader.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    /// Whether this node is an active router of the multicast tree.
+    pub fn on_tree(&self) -> bool {
+        self.is_leader || self.mrt.enabled_count() > 0
+    }
+
+    /// The multicast route table (read access for the gossip layer's
+    /// locality-weighted next-hop choice).
+    pub fn mrt(&self) -> &MulticastRouteTable {
+        &self.mrt
+    }
+
+    /// The unicast route table.
+    pub fn rt(&self) -> &RouteTable {
+        &self.rt
+    }
+
+    /// The neighbour liveness table.
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &MaodvConfig {
+        &self.cfg
+    }
+
+    // ───────────────────────── lifecycle ─────────────────────────
+
+    /// Schedules the initial timers. Call once from `Protocol::start`.
+    pub fn start(&mut self, api: &mut Api<'_, X>) {
+        let hello_jitter = SimDuration::from_nanos(
+            api.rng().random_range(0..self.cfg.hello_interval.as_nanos().max(1)),
+        );
+        api.set_timer(hello_jitter, TIMER_HELLO);
+        let tick_jitter =
+            SimDuration::from_nanos(api.rng().random_range(0..self.cfg.tick_interval.as_nanos().max(1)));
+        api.set_timer(self.cfg.tick_interval + tick_jitter, TIMER_TICK);
+        api.set_timer(self.cfg.group_hello_interval, TIMER_GRPH);
+        if self.is_member {
+            let join_jitter =
+                SimDuration::from_nanos(api.rng().random_range(0..self.cfg.join_jitter.as_nanos().max(1)));
+            api.set_timer(join_jitter, TIMER_JOIN_START);
+        }
+    }
+
+    /// Handles one of MAODV's own timers. Returns `true` if the key was
+    /// consumed (wrappers pass unknown keys to their own logic).
+    pub fn on_timer(&mut self, api: &mut Api<'_, X>, key: TimerKey, up: &mut Vec<Upcall<X>>) -> bool {
+        match key {
+            TIMER_HELLO => {
+                api.broadcast(MaodvMsg::Hello);
+                api.set_timer(self.cfg.hello_interval, TIMER_HELLO);
+                true
+            }
+            TIMER_GRPH => {
+                if self.is_leader {
+                    self.mrt.group_seq += 1;
+                    let seq = self.mrt.group_seq;
+                    self.grph_seen.insert((self.id, seq));
+                    self.adopted_grph = Some((self.id, seq));
+                    let base = GrphPayload {
+                        group: self.group,
+                        leader: self.id,
+                        group_seq: seq,
+                        hop_count: 0,
+                        ttl: self.cfg.flood_ttl,
+                        tree: false,
+                    };
+                    // Network-wide flood (merge detection)…
+                    api.broadcast(MaodvMsg::Grph(base));
+                    // …and the tree-scoped copy (connectivity proof).
+                    api.broadcast(MaodvMsg::Grph(GrphPayload { tree: true, ..base }));
+                    api.count("maodv.grph_originated");
+                }
+                let jitter = SimDuration::from_micros(api.rng().random_range(0..500_000));
+                api.set_timer(self.cfg.group_hello_interval + jitter, TIMER_GRPH);
+                true
+            }
+            TIMER_TICK => {
+                self.tick(api, up);
+                api.set_timer(self.cfg.tick_interval, TIMER_TICK);
+                true
+            }
+            TIMER_RELAY => {
+                if let Some(msg) = self.relay_queue.pop_front() {
+                    api.broadcast(msg);
+                }
+                true
+            }
+            TIMER_JOIN_START => {
+                self.join_started = true;
+                if self.is_member && !self.on_tree() && self.join.is_none() {
+                    self.start_join(api, None);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Handles a received frame. Returns the resulting upcalls.
+    pub fn on_packet(
+        &mut self,
+        api: &mut Api<'_, X>,
+        from: NodeId,
+        msg: MaodvMsg<X>,
+        _rx: RxKind,
+        up: &mut Vec<Upcall<X>>,
+    ) {
+        let now = api.now();
+        self.neighbors.heard(from, now);
+        // Any frame gives us a 1-hop route to the sender.
+        let expires = now + self.cfg.active_route_timeout;
+        self.rt
+            .update_allow_stale(from, from, self.rt.known_seq(from).unwrap_or(0), 1, expires, now);
+        match msg {
+            MaodvMsg::Hello => {}
+            MaodvMsg::Rreq(r) => self.handle_rreq(api, from, r),
+            MaodvMsg::Rrep(p) => self.handle_rrep(api, from, p, up),
+            MaodvMsg::Mact(m) => self.handle_mact(api, from, m, up),
+            MaodvMsg::Grph(g) => self.handle_grph(api, from, g),
+            MaodvMsg::Data(d) => self.handle_data(api, from, d, up),
+            MaodvMsg::NmUpdate { group, value } => {
+                if group == self.group && self.mrt.set_nearest_member(from, value) {
+                    self.propagate_nearest_member(api);
+                }
+            }
+            MaodvMsg::Ext(x) => up.push(Upcall::ExtNeighbor { from, msg: x }),
+            MaodvMsg::Routed(r) => self.handle_routed(api, from, r, up),
+        }
+    }
+
+    /// Handles a MAC-level unicast failure (retry limit exhausted): the
+    /// primary link-break detector.
+    pub fn on_send_failure(&mut self, api: &mut Api<'_, X>, to: NodeId, msg: MaodvMsg<X>, up: &mut Vec<Upcall<X>>) {
+        api.count("maodv.send_failure");
+        self.neighbors.forget(to);
+        self.rt.invalidate_via(to);
+        self.rt.invalidate(to);
+        if let MaodvMsg::Routed(_) = msg {
+            api.count("maodv.routed_dropped");
+        }
+        let was_tree_edge = self.mrt.next_hop(to).is_some_and(|h| h.enabled);
+        if was_tree_edge {
+            self.handle_tree_break(api, to, up);
+        }
+    }
+
+    // ───────────────────────── app-facing sends ─────────────────────────
+
+    /// Multicasts one data packet to the group (phase one of the paper's
+    /// protocol). Returns the per-origin sequence number used.
+    pub fn send_data(&mut self, api: &mut Api<'_, X>, payload_len: u16) -> u32 {
+        self.data_seq += 1;
+        let seq = self.data_seq;
+        self.data_seen.insert((self.id, seq));
+        if self.on_tree() {
+            api.broadcast(MaodvMsg::Data(DataHeader {
+                group: self.group,
+                origin: self.id,
+                seq,
+                payload_len,
+                hops: 0,
+            }));
+            api.count("maodv.data_originated");
+        } else {
+            api.count("maodv.data_sent_detached");
+        }
+        seq
+    }
+
+    /// Sends a one-hop extension frame to a direct neighbour (gossip walk
+    /// step; §4.1's propagation along the tree is built from these).
+    pub fn send_ext_neighbor(&mut self, api: &mut Api<'_, X>, to: NodeId, payload: X) {
+        api.send(to, MaodvMsg::Ext(payload));
+    }
+
+    /// Sends an extension payload to an arbitrary node via AODV unicast
+    /// routing, running route discovery (and buffering) if needed.
+    pub fn send_ext_routed(&mut self, api: &mut Api<'_, X>, dest: NodeId, payload: X) {
+        if dest == self.id {
+            return;
+        }
+        let now = api.now();
+        if let Some(route) = self.rt.lookup(dest, now) {
+            let next = route.next_hop;
+            self.rt.refresh(dest, now + self.cfg.active_route_timeout);
+            api.send(
+                next,
+                MaodvMsg::Routed(RoutedExt {
+                    src: self.id,
+                    dest,
+                    ttl: self.cfg.flood_ttl,
+                    hops: 0,
+                    payload,
+                }),
+            );
+            return;
+        }
+        // No route: buffer and discover.
+        match self.discoveries.get_mut(&dest) {
+            Some(d) => {
+                if d.buffer.len() < self.cfg.discovery_buffer {
+                    d.buffer.push(payload);
+                } else {
+                    api.count("maodv.discovery_buffer_drop");
+                }
+            }
+            None => {
+                let rreq_id = self.fresh_rreq_id();
+                self.node_seq += 1;
+                self.discoveries.insert(
+                    dest,
+                    Discovery {
+                        rreq_id,
+                        sent_at: now,
+                        retries: 0,
+                        buffer: vec![payload],
+                    },
+                );
+                self.broadcast_unicast_rreq(api, dest, rreq_id);
+            }
+        }
+    }
+
+    /// Installs a (reverse) route learned by an upper layer — the gossip
+    /// walk records the path back to its initiator this way, which is why
+    /// gossip replies need no fresh discovery (§4.1).
+    pub fn note_route(&mut self, now: SimTime, dest: NodeId, via: NodeId, hops: u8) {
+        if dest == self.id {
+            return;
+        }
+        let expires = now + self.cfg.active_route_timeout;
+        self.rt
+            .update_allow_stale(dest, via, self.rt.known_seq(dest).unwrap_or(0), hops, expires, now);
+    }
+
+    /// Leaves the group (paper §3: leaf members prune; non-leaf members
+    /// keep routing but stop being members).
+    pub fn leave_group(&mut self, api: &mut Api<'_, X>) {
+        self.is_member = false;
+        self.leaf_prune_check(api);
+        self.propagate_nearest_member(api);
+    }
+
+    // ───────────────────────── internals ─────────────────────────
+
+    /// Queues a flood frame for rebroadcast after a small random delay
+    /// (0–10 ms). Synchronized flood relays from mutually hidden nodes
+    /// would otherwise collide at the nodes between them *every* round —
+    /// the classic broadcast-storm pathology jitter exists to break.
+    fn schedule_relay(&mut self, api: &mut Api<'_, X>, msg: MaodvMsg<X>) {
+        self.relay_queue.push_back(msg);
+        let delay = SimDuration::from_micros(api.rng().random_range(0..10_000));
+        api.set_timer(delay, TIMER_RELAY);
+    }
+
+    fn fresh_rreq_id(&mut self) -> u32 {
+        self.next_rreq_id += 1;
+        self.next_rreq_id
+    }
+
+    fn start_join(&mut self, api: &mut Api<'_, X>, repair: Option<u8>) {
+        self.join_started = true;
+        let rreq_id = self.fresh_rreq_id();
+        self.node_seq += 1;
+        self.join = Some(JoinAttempt {
+            rreq_id,
+            sent_at: api.now(),
+            retries: 0,
+            repair,
+            candidates: Vec::new(),
+        });
+        self.rreq_seen.insert((self.id, rreq_id));
+        api.count(if repair.is_some() { "maodv.repair_rreq" } else { "maodv.join_rreq" });
+        api.broadcast(MaodvMsg::Rreq(RreqPayload {
+            origin: self.id,
+            origin_seq: self.node_seq,
+            rreq_id,
+            dest: self.id,
+            group: Some(self.group),
+            known_seq: self.mrt.group_seq,
+            hop_count: 0,
+            ttl: self.cfg.flood_ttl,
+            join: true,
+            repair_hops: repair,
+        }));
+    }
+
+    fn broadcast_unicast_rreq(&mut self, api: &mut Api<'_, X>, dest: NodeId, rreq_id: u32) {
+        self.rreq_seen.insert((self.id, rreq_id));
+        api.count("maodv.unicast_rreq");
+        api.broadcast(MaodvMsg::Rreq(RreqPayload {
+            origin: self.id,
+            origin_seq: self.node_seq,
+            rreq_id,
+            dest,
+            group: None,
+            known_seq: self.rt.known_seq(dest).unwrap_or(0),
+            hop_count: 0,
+            ttl: self.cfg.flood_ttl,
+            join: false,
+            repair_hops: None,
+        }));
+    }
+
+    fn become_leader(&mut self, api: &mut Api<'_, X>, up: &mut Vec<Upcall<X>>) {
+        self.is_leader = true;
+        self.mrt.leader = Some(self.id);
+        self.mrt.group_seq += 1;
+        self.mrt.hops_to_leader = 0;
+        self.last_tree_grph = Some(api.now());
+        up.push(Upcall::BecameLeader);
+        api.count("maodv.became_leader");
+    }
+
+    fn tick(&mut self, api: &mut Api<'_, X>, up: &mut Vec<Upcall<X>>) {
+        let now = api.now();
+        // 1. Neighbour liveness: silent tree neighbours break links.
+        for dead in self.neighbors.sweep_dead(now) {
+            self.rt.invalidate_via(dead);
+            if self.mrt.next_hop(dead).is_some_and(|h| h.enabled) {
+                api.count("maodv.hello_link_break");
+                // Best-effort prune so a *spurious* break (hellos lost to
+                // collisions, neighbour actually fine) cannot leave the
+                // tree edge dangling on one side only.
+                api.send(
+                    dead,
+                    MaodvMsg::Mact(MactPayload {
+                        group: self.group,
+                        kind: MactKind::Prune,
+                        origin: self.id,
+                        rreq_id: 0,
+                        sender_is_member: self.is_member,
+                    }),
+                );
+                self.handle_tree_break(api, dead, up);
+            }
+        }
+        // 2. Join/repair progress.
+        if let Some(mut j) = self.join.take() {
+            if now.duration_since(j.sent_at) >= self.cfg.rrep_wait {
+                if let Some(best) = Self::select_candidate(&j.candidates) {
+                    self.activate_branch(api, best, j.rreq_id, up);
+                } else if j.retries < self.cfg.rreq_retries {
+                    j.retries += 1;
+                    j.sent_at = now;
+                    let rreq_id = self.fresh_rreq_id();
+                    j.rreq_id = rreq_id;
+                    self.node_seq += 1;
+                    self.rreq_seen.insert((self.id, rreq_id));
+                    api.count("maodv.join_rreq_retry");
+                    api.broadcast(MaodvMsg::Rreq(RreqPayload {
+                        origin: self.id,
+                        origin_seq: self.node_seq,
+                        rreq_id,
+                        dest: self.id,
+                        group: Some(self.group),
+                        known_seq: self.mrt.group_seq,
+                        hop_count: 0,
+                        ttl: self.cfg.flood_ttl,
+                        join: true,
+                        repair_hops: j.repair,
+                    }));
+                    self.join = Some(j);
+                } else {
+                    // Nobody answered: we are partitioned (or first).
+                    self.become_leader(api, up);
+                }
+            } else {
+                self.join = Some(j);
+            }
+        }
+        // 3a. A tree router without an upstream and not the leader must
+        //     repair (covers lost MACT cascades and leader loss).
+        if self.on_tree() && !self.is_leader && self.mrt.upstream().is_none() && self.join.is_none() {
+            let hops = self.mrt.hops_to_leader;
+            self.start_join(api, Some(hops));
+        }
+        // 3b. A member that fell off the tree entirely (pruned away or
+        //     failed graft) re-joins from scratch.
+        if self.is_member && self.join_started && !self.on_tree() && self.join.is_none() {
+            api.count("maodv.member_rejoin");
+            self.start_join(api, None);
+        }
+        // 3c. An orphaned subtree: local tree edges look fine but no
+        //     tree-scoped GRPH has arrived for several leader rounds.
+        //     Jittered so a whole subtree does not flood RREQs at once.
+        if self.on_tree()
+            && !self.is_leader
+            && self.join.is_none()
+            && self.last_tree_grph.is_some()
+            && !self.tree_connected(now)
+        {
+            let jitter_ns = api.rng().random_range(0..self.cfg.group_hello_interval.as_nanos());
+            let stale_for = now.duration_since(self.last_tree_grph.expect("checked"));
+            if stale_for.as_nanos() > self.cfg.group_hello_interval.as_nanos() * 5 / 2 + jitter_ns {
+                api.count("maodv.orphan_repair");
+                self.start_join(api, None);
+            }
+        }
+        // 4. Unicast discovery timeouts.
+        let mut to_retry: Vec<NodeId> = Vec::new();
+        let mut to_fail: Vec<NodeId> = Vec::new();
+        for (dest, d) in &self.discoveries {
+            if now.duration_since(d.sent_at) >= self.cfg.rrep_wait {
+                if d.retries < self.cfg.rreq_retries {
+                    to_retry.push(*dest);
+                } else {
+                    to_fail.push(*dest);
+                }
+            }
+        }
+        to_retry.sort();
+        to_fail.sort();
+        for dest in to_retry {
+            let rreq_id = self.fresh_rreq_id();
+            self.node_seq += 1;
+            if let Some(d) = self.discoveries.get_mut(&dest) {
+                d.retries += 1;
+                d.sent_at = now;
+                d.rreq_id = rreq_id;
+            }
+            self.broadcast_unicast_rreq(api, dest, rreq_id);
+        }
+        for dest in to_fail {
+            if let Some(d) = self.discoveries.remove(&dest) {
+                api.count_n("maodv.discovery_failed_pkts", d.buffer.len() as u64);
+                api.count("maodv.discovery_failed");
+            }
+        }
+        // 5. Expire stale pending-join bookkeeping.
+        self.pending_joins.retain(|_, p| p.expires > now);
+        if self.pending_joins.is_empty() && !self.forwarded_rreps.is_empty() {
+            self.forwarded_rreps.clear();
+        }
+    }
+
+    fn select_candidate(cands: &[JoinCandidate]) -> Option<JoinCandidate> {
+        cands
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.group_seq
+                    .cmp(&b.group_seq)
+                    .then(b.hops_to_tree.cmp(&a.hops_to_tree))
+                    .then(b.via.cmp(&a.via))
+            })
+    }
+
+    /// Requester side of MACT: activate the best candidate branch.
+    fn activate_branch(&mut self, api: &mut Api<'_, X>, best: JoinCandidate, rreq_id: u32, up: &mut Vec<Upcall<X>>) {
+        // An orphan re-graft replaces a still-enabled but disconnected
+        // upstream: prune that stale edge so both sides agree (the old
+        // upstream's subtree will run its own orphan repair).
+        if let Some(old) = self.mrt.upstream() {
+            if old != best.via {
+                api.send(
+                    old,
+                    MaodvMsg::Mact(MactPayload {
+                        group: self.group,
+                        kind: MactKind::Prune,
+                        origin: self.id,
+                        rreq_id: 0,
+                        sender_is_member: self.is_member,
+                    }),
+                );
+                self.mrt.remove_next_hop(old);
+                self.nm_sent.remove(&old);
+            }
+        }
+        self.mrt.enable_next_hop(best.via, false);
+        self.mrt.set_upstream(best.via);
+        self.mrt.group_seq = self.mrt.group_seq.max(best.group_seq);
+        self.mrt.hops_to_leader = best.leader_hops.saturating_add(best.hops_to_tree);
+        // Optimistic grace: a tree GRPH should arrive within one round.
+        self.last_tree_grph = Some(api.now());
+        api.send(
+            best.via,
+            MaodvMsg::Mact(MactPayload {
+                group: self.group,
+                kind: MactKind::Join,
+                origin: self.id,
+                rreq_id,
+                sender_is_member: self.is_member,
+            }),
+        );
+        self.exchange_nearest_member(api, best.via);
+        up.push(Upcall::JoinedTree);
+        api.count("maodv.mact_sent");
+    }
+
+    fn handle_rreq(&mut self, api: &mut Api<'_, X>, from: NodeId, r: RreqPayload) {
+        if r.origin == self.id {
+            return;
+        }
+        let now = api.now();
+        // Reverse route toward the origin.
+        self.rt.update_allow_stale(
+            r.origin,
+            from,
+            r.origin_seq,
+            r.hop_count.saturating_add(1),
+            now + self.cfg.active_route_timeout,
+            now,
+        );
+        if !self.rreq_seen.insert((r.origin, r.rreq_id)) {
+            return;
+        }
+        if r.join {
+            // Only nodes with a *proven* live path to the leader answer;
+            // this is what keeps a repairing/merging node from grafting
+            // onto its own orphaned subtree. Never answer our own
+            // upstream: our connectivity *is* the requester — replying
+            // would weld a cycle.
+            let can_reply = self.on_tree()
+                && self.tree_connected(now)
+                && self.mrt.upstream() != Some(r.origin)
+                && self.mrt.group_seq >= r.known_seq
+                && r.repair_hops.is_none_or(|rh| self.mrt.hops_to_leader < rh);
+            if can_reply {
+                api.count("maodv.join_rrep_sent");
+                api.send(
+                    from,
+                    MaodvMsg::Rrep(RrepPayload {
+                        origin: r.origin,
+                        rreq_id: r.rreq_id,
+                        responder: self.id,
+                        dest: self.id,
+                        group: Some(self.group),
+                        seq: self.mrt.group_seq,
+                        hop_count: 0,
+                        leader_hops: self.mrt.hops_to_leader,
+                        responder_is_member: self.is_member,
+                    }),
+                );
+                return;
+            }
+        } else {
+            if r.dest == self.id {
+                self.node_seq = self.node_seq.max(r.known_seq);
+                api.count("maodv.unicast_rrep_sent");
+                api.send(
+                    from,
+                    MaodvMsg::Rrep(RrepPayload {
+                        origin: r.origin,
+                        rreq_id: r.rreq_id,
+                        responder: self.id,
+                        dest: self.id,
+                        group: None,
+                        seq: self.node_seq,
+                        hop_count: 0,
+                        leader_hops: 0,
+                        responder_is_member: self.is_member,
+                    }),
+                );
+                return;
+            }
+            if let Some(route) = self.rt.lookup(r.dest, now) {
+                if route.seq >= r.known_seq {
+                    api.count("maodv.unicast_rrep_intermediate");
+                    api.send(
+                        from,
+                        MaodvMsg::Rrep(RrepPayload {
+                            origin: r.origin,
+                            rreq_id: r.rreq_id,
+                            responder: self.id,
+                            dest: r.dest,
+                            group: None,
+                            seq: route.seq,
+                            hop_count: route.hops,
+                            leader_hops: 0,
+                            responder_is_member: false,
+                        }),
+                    );
+                    return;
+                }
+            }
+        }
+        // Rebroadcast the flood (jittered; see schedule_relay).
+        if r.ttl > 1 {
+            self.schedule_relay(
+                api,
+                MaodvMsg::Rreq(RreqPayload {
+                    hop_count: r.hop_count.saturating_add(1),
+                    ttl: r.ttl - 1,
+                    ..r
+                }),
+            );
+        }
+    }
+
+    fn handle_rrep(&mut self, api: &mut Api<'_, X>, from: NodeId, p: RrepPayload, up: &mut Vec<Upcall<X>>) {
+        let now = api.now();
+        if p.hop_count >= 2 * self.cfg.flood_ttl {
+            // A reply circulating on stale reverse routes; kill the loop.
+            api.count("maodv.rrep_loop_dropped");
+            return;
+        }
+        let expires = now + self.cfg.active_route_timeout;
+        // Forward route to the reply's destination/responder.
+        self.rt.update_allow_stale(p.dest, from, p.seq, p.hop_count.saturating_add(1), expires, now);
+        if p.responder != p.dest {
+            self.rt
+                .update_allow_stale(p.responder, from, 0, p.hop_count.saturating_add(1), expires, now);
+        }
+        if p.origin == self.id {
+            match p.group {
+                Some(g) if g == self.group => {
+                    if p.responder_is_member {
+                        up.push(Upcall::MemberObserved {
+                            member: p.responder,
+                            hops: p.hop_count.saturating_add(1),
+                        });
+                    }
+                    if let Some(j) = &mut self.join {
+                        if j.rreq_id == p.rreq_id {
+                            j.candidates.push(JoinCandidate {
+                                via: from,
+                                group_seq: p.seq,
+                                hops_to_tree: p.hop_count.saturating_add(1),
+                                leader_hops: p.leader_hops,
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    // Unicast discovery answered: flush the buffer.
+                    if let Some(d) = self.discoveries.remove(&p.dest) {
+                        for x in d.buffer {
+                            self.send_ext_routed(api, p.dest, x);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        // Forward toward the origin along the reverse route.
+        let Some(rev) = self.rt.lookup(p.origin, now) else {
+            api.count("maodv.rrep_no_reverse_route");
+            return;
+        };
+        let rev_next = rev.next_hop;
+        if p.group.is_some() {
+            // Join reply: remember the potential upstream; suppress
+            // duplicates that are no better than what we already relayed.
+            let key = (p.origin, p.rreq_id);
+            let score = (p.seq, p.hop_count);
+            if let Some(&(best_seq, best_hops)) = self.forwarded_rreps.get(&key) {
+                if p.seq < best_seq || (p.seq == best_seq && p.hop_count >= best_hops) {
+                    return;
+                }
+            }
+            self.forwarded_rreps.insert(key, score);
+            self.pending_joins.insert(
+                key,
+                PendingJoin {
+                    upstream: from,
+                    group_seq: p.seq,
+                    hops_to_tree: p.hop_count.saturating_add(1),
+                    leader_hops: p.leader_hops,
+                    expires: now + self.cfg.rrep_wait * 4,
+                },
+            );
+            // Inactive entries for the potential branch, per draft-05.
+            self.mrt.ensure_next_hop(from);
+            self.mrt.ensure_next_hop(rev_next);
+        }
+        api.send(
+            rev_next,
+            MaodvMsg::Rrep(RrepPayload {
+                hop_count: p.hop_count.saturating_add(1),
+                ..p
+            }),
+        );
+    }
+
+    fn handle_mact(&mut self, api: &mut Api<'_, X>, from: NodeId, m: MactPayload, up: &mut Vec<Upcall<X>>) {
+        if m.group != self.group {
+            return;
+        }
+        match m.kind {
+            MactKind::Prune => {
+                api.count("maodv.prune_received");
+                let was_upstream = self.mrt.upstream() == Some(from);
+                self.mrt.remove_next_hop(from);
+                self.nm_sent.remove(&from);
+                self.propagate_nearest_member(api);
+                if was_upstream && !self.is_leader && self.on_tree() && self.join.is_none() {
+                    // Our upstream cut us off: repair downstream-initiated,
+                    // exactly as for a detected link break.
+                    let hops = self.mrt.hops_to_leader;
+                    self.start_join(api, Some(hops));
+                } else {
+                    self.leaf_prune_check(api);
+                }
+            }
+            MactKind::Join => {
+                api.count("maodv.mact_join_received");
+                let was_on_tree = self.on_tree();
+                self.mrt.enable_next_hop(from, m.sender_is_member);
+                self.exchange_nearest_member(api, from);
+                if !was_on_tree {
+                    // We are an intermediate node being grafted: continue
+                    // the activation toward the tree.
+                    if let Some(p) = self.pending_joins.remove(&(m.origin, m.rreq_id)) {
+                        self.mrt.enable_next_hop(p.upstream, false);
+                        self.mrt.set_upstream(p.upstream);
+                        self.mrt.group_seq = self.mrt.group_seq.max(p.group_seq);
+                        self.mrt.hops_to_leader = p.leader_hops.saturating_add(p.hops_to_tree);
+                        self.last_tree_grph = Some(api.now());
+                        api.send(
+                            p.upstream,
+                            MaodvMsg::Mact(MactPayload {
+                                group: self.group,
+                                kind: MactKind::Join,
+                                origin: m.origin,
+                                rreq_id: m.rreq_id,
+                                sender_is_member: self.is_member,
+                            }),
+                        );
+                        self.exchange_nearest_member(api, p.upstream);
+                        up.push(Upcall::JoinedTree);
+                    }
+                    // else: stale MACT with no pending record; the tick's
+                    // upstream-less repair rule will fix us up.
+                }
+                self.propagate_nearest_member(api);
+            }
+        }
+    }
+
+    fn handle_grph(&mut self, api: &mut Api<'_, X>, from: NodeId, g: GrphPayload) {
+        if g.group != self.group {
+            return;
+        }
+        if g.tree {
+            self.handle_tree_grph(api, from, g);
+            return;
+        }
+        if !self.grph_seen.insert((g.leader, g.group_seq)) {
+            return;
+        }
+        if self.is_leader && g.leader != self.id && self.id > g.leader {
+            // Two leaders: the higher id defers and grafts its whole
+            // subtree onto the other partition (simplified merge, see
+            // DESIGN.md §5). Only leader-connected nodes answer join
+            // RREQs, so the graft cannot land in our own subtree.
+            api.count("maodv.leader_merge_defer");
+            self.is_leader = false;
+            self.mrt.leader = Some(g.leader);
+            self.mrt.group_seq = self.mrt.group_seq.max(g.group_seq);
+            // Grace period: our subtree stays "connected" through us
+            // while the graft completes.
+            self.last_tree_grph = Some(api.now());
+            if self.join.is_none() {
+                self.start_join(api, None);
+            }
+        } else {
+            // Freshness only; leader/hops adoption is the tree copy's job.
+            self.mrt.group_seq = self.mrt.group_seq.max(g.group_seq);
+        }
+        if g.ttl > 1 {
+            self.schedule_relay(
+                api,
+                MaodvMsg::Grph(GrphPayload {
+                    hop_count: g.hop_count.saturating_add(1),
+                    ttl: g.ttl - 1,
+                    ..g
+                }),
+            );
+        }
+    }
+
+    /// A tree-scoped GRPH: adopt and relay downward only when it arrives
+    /// over our upstream tree edge — that chain of custody is what makes
+    /// it a proof of leader connectivity.
+    fn handle_tree_grph(&mut self, api: &mut Api<'_, X>, from: NodeId, g: GrphPayload) {
+        if self.is_leader || self.mrt.upstream() != Some(from) {
+            return;
+        }
+        if let Some((leader, seq)) = self.adopted_grph {
+            if g.leader == leader && g.group_seq <= seq {
+                return;
+            }
+        }
+        self.adopted_grph = Some((g.leader, g.group_seq));
+        self.mrt.leader = Some(g.leader);
+        self.mrt.group_seq = self.mrt.group_seq.max(g.group_seq);
+        self.mrt.hops_to_leader = g.hop_count.saturating_add(1);
+        self.last_tree_grph = Some(api.now());
+        api.count("maodv.tree_grph_adopted");
+        if g.ttl > 1 && self.mrt.enabled().any(|h| h.node != from) {
+            self.schedule_relay(
+                api,
+                MaodvMsg::Grph(GrphPayload {
+                    hop_count: g.hop_count.saturating_add(1),
+                    ttl: g.ttl - 1,
+                    ..g
+                }),
+            );
+        }
+    }
+
+    fn handle_data(&mut self, api: &mut Api<'_, X>, from: NodeId, d: DataHeader, up: &mut Vec<Upcall<X>>) {
+        if d.group != self.group || d.origin == self.id {
+            return;
+        }
+        let now = api.now();
+        // Free reverse route toward the origin (used by gossip replies).
+        self.rt.update_allow_stale(
+            d.origin,
+            from,
+            self.rt.known_seq(d.origin).unwrap_or(0),
+            d.hops.saturating_add(1),
+            now + self.cfg.active_route_timeout,
+            now,
+        );
+        // Tree discipline: accept only over an activated tree edge.
+        if !self.mrt.next_hop(from).is_some_and(|h| h.enabled) {
+            api.count("maodv.data_non_tree_ignored");
+            return;
+        }
+        if !self.data_seen.insert((d.origin, d.seq)) {
+            api.count("maodv.data_duplicate");
+            return;
+        }
+        if self.is_member {
+            up.push(Upcall::DataReceived {
+                origin: d.origin,
+                seq: d.seq,
+                payload_len: d.payload_len,
+                hops: d.hops.saturating_add(1),
+            });
+            up.push(Upcall::MemberObserved {
+                member: d.origin,
+                hops: d.hops.saturating_add(1),
+            });
+        }
+        // Forward along the remaining tree edges (one broadcast reaches
+        // them all; non-tree neighbours ignore it).
+        if self.mrt.enabled().any(|h| h.node != from) {
+            api.count("maodv.data_forwarded");
+            api.broadcast(MaodvMsg::Data(DataHeader {
+                hops: d.hops.saturating_add(1),
+                ..d
+            }));
+        }
+    }
+
+    fn handle_routed(&mut self, api: &mut Api<'_, X>, from: NodeId, r: RoutedExt<X>, up: &mut Vec<Upcall<X>>) {
+        let now = api.now();
+        // The routed frame teaches us the way back to its source.
+        self.rt.update_allow_stale(
+            r.src,
+            from,
+            self.rt.known_seq(r.src).unwrap_or(0),
+            r.hops.saturating_add(1),
+            now + self.cfg.active_route_timeout,
+            now,
+        );
+        if r.dest == self.id {
+            up.push(Upcall::ExtRouted {
+                src: r.src,
+                hops: r.hops.saturating_add(1),
+                msg: r.payload,
+            });
+            return;
+        }
+        if r.ttl <= 1 {
+            api.count("maodv.routed_ttl_expired");
+            return;
+        }
+        let Some(route) = self.rt.lookup(r.dest, now) else {
+            api.count("maodv.routed_no_route");
+            return;
+        };
+        let next = route.next_hop;
+        self.rt.refresh(r.dest, now + self.cfg.active_route_timeout);
+        api.send(
+            next,
+            MaodvMsg::Routed(RoutedExt {
+                ttl: r.ttl - 1,
+                hops: r.hops.saturating_add(1),
+                ..r
+            }),
+        );
+    }
+
+    fn handle_tree_break(&mut self, api: &mut Api<'_, X>, neighbor: NodeId, up: &mut Vec<Upcall<X>>) {
+        let was_upstream = self.mrt.upstream() == Some(neighbor);
+        self.mrt.remove_next_hop(neighbor);
+        self.nm_sent.remove(&neighbor);
+        self.propagate_nearest_member(api);
+        api.count("maodv.tree_link_break");
+        if was_upstream && !self.is_leader {
+            // Paper §3: only the downstream node repairs, advertising its
+            // old distance to the leader so only closer nodes answer.
+            if self.join.is_none() {
+                let hops = self.mrt.hops_to_leader;
+                self.start_join(api, Some(hops));
+            }
+        } else {
+            // Upstream side of the break: prune ourselves if now useless.
+            self.leaf_prune_check(api);
+        }
+        let _ = up;
+    }
+
+    /// A non-member router whose tree degree fell to one is a useless
+    /// leaf: prune (cascades upstream per §3).
+    fn leaf_prune_check(&mut self, api: &mut Api<'_, X>) {
+        if self.is_member || self.is_leader {
+            return;
+        }
+        if self.mrt.enabled_count() == 1 {
+            let last = self.mrt.enabled().next().expect("count checked").node;
+            api.count("maodv.prune_sent");
+            api.send(
+                last,
+                MaodvMsg::Mact(MactPayload {
+                    group: self.group,
+                    kind: MactKind::Prune,
+                    origin: self.id,
+                    rreq_id: 0,
+                    sender_is_member: false,
+                }),
+            );
+            self.mrt.remove_next_hop(last);
+            self.nm_sent.remove(&last);
+        }
+    }
+
+    /// Sends our advertised `nearest_member` value to a newly activated
+    /// neighbour (bootstraps the exchange in both directions).
+    fn exchange_nearest_member(&mut self, api: &mut Api<'_, X>, to: NodeId) {
+        let value = self.mrt.advertised_nearest_member(to, self.is_member);
+        self.nm_sent.insert(to, value);
+        api.send(
+            to,
+            MaodvMsg::NmUpdate {
+                group: self.group,
+                value,
+            },
+        );
+    }
+
+    /// Sends `nearest_member` advertisements to every enabled next hop
+    /// whose value changed since last sent (§4.2).
+    fn propagate_nearest_member(&mut self, api: &mut Api<'_, X>) {
+        for (to, value) in self.mrt.advertisements(self.is_member) {
+            if self.nm_sent.get(&to) != Some(&value) {
+                self.nm_sent.insert(to, value);
+                api.send(
+                    to,
+                    MaodvMsg::NmUpdate {
+                        group: self.group,
+                        value,
+                    },
+                );
+                api.count("maodv.nm_update_sent");
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Node-density helpers for the paper's Figure 6.
+//!
+//! Figure 6 varies the node count from 40 to 100 while "the transmission
+//! range was adjusted in such a way that the average number of neighbors of
+//! a node remained approximately the same". For nodes placed uniformly in a
+//! field of area `A`, ignoring border effects, the expected neighbour count
+//! of a node with range `r` is `(n − 1) · πr² / A`; holding that constant
+//! gives `r(n) = r₀ · √((n₀ − 1) / (n − 1))`.
+
+use crate::{Field, Vec2};
+
+/// Expected neighbour count for `n` uniform nodes with transmission range
+/// `range_m` in `field`, ignoring border effects.
+///
+/// # Example
+///
+/// ```
+/// use ag_mobility::{Field, density};
+/// let d = density::expected_degree(40, 55.0, Field::paper());
+/// assert!(d > 8.0 && d < 10.0);
+/// ```
+pub fn expected_degree(n: usize, range_m: f64, field: Field) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    (n as f64 - 1.0) * std::f64::consts::PI * range_m * range_m / field.area()
+}
+
+/// The transmission range that keeps the expected neighbour count equal to
+/// that of a baseline `(n0, r0)` configuration when the node count is `n`.
+///
+/// This is the range-scaling rule used to regenerate the paper's Figure 6.
+///
+/// # Example
+///
+/// ```
+/// use ag_mobility::density;
+/// let r = density::range_for_constant_degree(40, 55.0, 40);
+/// assert_eq!(r, 55.0);
+/// let r100 = density::range_for_constant_degree(40, 55.0, 100);
+/// assert!(r100 < 55.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either node count is less than 2.
+pub fn range_for_constant_degree(n0: usize, r0: f64, n: usize) -> f64 {
+    assert!(n0 >= 2 && n >= 2, "node counts must be at least 2");
+    r0 * ((n0 as f64 - 1.0) / (n as f64 - 1.0)).sqrt()
+}
+
+/// Measures the *actual* mean neighbour count of a set of positions, where
+/// two nodes are neighbours iff their distance is at most `range_m`.
+///
+/// Used by tests to validate [`expected_degree`] and by the harness to
+/// report realized densities.
+pub fn mean_degree(positions: &[Vec2], range_m: f64) -> f64 {
+    let n = positions.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let r2 = range_m * range_m;
+    let mut links = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if positions[i].distance_sq(positions[j]) <= r2 {
+                links += 1;
+            }
+        }
+    }
+    // Each link contributes one neighbour to each endpoint.
+    2.0 * links as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_sim::rng::{SeedSplitter, StreamKind};
+
+    #[test]
+    fn degree_formula_monotone() {
+        let f = Field::paper();
+        assert!(expected_degree(40, 55.0, f) < expected_degree(40, 75.0, f));
+        assert!(expected_degree(40, 55.0, f) < expected_degree(100, 55.0, f));
+        assert_eq!(expected_degree(1, 55.0, f), 0.0);
+    }
+
+    #[test]
+    fn constant_degree_inversion() {
+        let f = Field::paper();
+        let d0 = expected_degree(40, 55.0, f);
+        for n in [40, 60, 80, 100] {
+            let r = range_for_constant_degree(40, 55.0, n);
+            let d = expected_degree(n, r, f);
+            assert!((d - d0).abs() < 1e-9, "degree drifted at n={n}: {d} vs {d0}");
+        }
+    }
+
+    #[test]
+    fn mean_degree_empirically_matches_expectation() {
+        // Interior-dominated check: big field relative to range keeps border
+        // effects small, so the unbounded formula should be within ~20 %.
+        let f = Field::new(1000.0, 1000.0);
+        let mut rng = SeedSplitter::new(11).stream(StreamKind::Placement, 0);
+        let n = 500;
+        let positions: Vec<Vec2> = (0..n).map(|_| f.sample_uniform(&mut rng)).collect();
+        let r = 100.0;
+        let measured = mean_degree(&positions, r);
+        let expected = expected_degree(n, r, f);
+        assert!(
+            (measured - expected).abs() / expected < 0.2,
+            "measured {measured} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mean_degree_edge_cases() {
+        assert_eq!(mean_degree(&[], 10.0), 0.0);
+        assert_eq!(mean_degree(&[Vec2::ZERO], 10.0), 0.0);
+        let pair = [Vec2::ZERO, Vec2::new(5.0, 0.0)];
+        assert_eq!(mean_degree(&pair, 10.0), 1.0);
+        assert_eq!(mean_degree(&pair, 1.0), 0.0);
+    }
+}

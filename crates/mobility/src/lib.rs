@@ -1,0 +1,52 @@
+//! # ag-mobility: node mobility models
+//!
+//! Replaces GloMoSim's mobility module for the Anonymous Gossip
+//! reproduction. The paper (§5.1) uses the **random-waypoint** model: each
+//! node picks a uniformly random destination in the field, travels at a
+//! speed drawn uniformly from `[min, max]`, then pauses for a time drawn
+//! uniformly from `[0, 80] s` before repeating.
+//!
+//! Models here are *event-driven and analytic*: a node's trajectory is a
+//! sequence of legs (move / pause), its position at any instant inside a leg
+//! is computed exactly by linear interpolation, and the model reports the
+//! time of its next leg transition so the simulation kernel can schedule it.
+//! There is no per-tick position integration and therefore no drift.
+//!
+//! # Example
+//!
+//! ```
+//! use ag_mobility::{Field, RandomWaypoint, Mobility, SpeedRange, PauseRange};
+//! use ag_sim::{SimTime, SimDuration};
+//! use ag_sim::rng::{SeedSplitter, StreamKind};
+//!
+//! let field = Field::new(200.0, 200.0);
+//! let splitter = SeedSplitter::new(1);
+//! let mut rng = splitter.stream(StreamKind::Mobility, 0);
+//! let mut m = RandomWaypoint::new(
+//!     field,
+//!     SpeedRange::new(0.0, 2.0),
+//!     PauseRange::uniform_secs(0.0, 80.0),
+//!     &mut rng,
+//! );
+//! let p0 = m.position(SimTime::ZERO);
+//! assert!(field.contains(p0));
+//! // Drive the model forward through a few transitions.
+//! for _ in 0..5 {
+//!     let t = m.next_transition();
+//!     m.transition(t, &mut rng);
+//!     assert!(field.contains(m.position(t)));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod models;
+mod vec2;
+
+pub mod density;
+
+pub use field::Field;
+pub use models::{Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, MIN_EFFECTIVE_SPEED};
+pub use vec2::Vec2;

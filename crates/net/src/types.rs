@@ -1,0 +1,128 @@
+//! Core vocabulary types shared by every layer above the PHY.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::NodeApi;
+
+/// A node's network address.
+///
+/// In MAODV terms this stands in for the node's IP address; the engine
+/// assigns dense ids `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use ag_net::NodeId;
+/// let a = NodeId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node (also its engine slot).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw 16-bit value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// How a frame arrived at the MAC: addressed to this node or broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RxKind {
+    /// The frame was unicast to this node (and implicitly ACKed).
+    Unicast,
+    /// The frame was a local broadcast heard by every node in range.
+    Broadcast,
+}
+
+/// An opaque protocol-defined timer tag.
+///
+/// Timers are *not* cancellable; protocols that need cancellation keep a
+/// generation counter in their state and ignore stale firings (the idiom
+/// used throughout `ag-maodv`).
+pub type TimerKey = u64;
+
+/// A frame payload that can ride the simulated wireless channel.
+///
+/// The engine only needs to know a payload's serialized size to compute
+/// airtime; it never actually serializes anything.
+pub trait Message: Clone + fmt::Debug + Send + 'static {
+    /// Size of the payload on the wire, in bytes, *excluding* the MAC
+    /// header (the PHY adds that).
+    fn wire_size(&self) -> usize;
+}
+
+/// The upper layer of a node's stack (routing + application).
+///
+/// One instance exists per node. All interaction with the world goes
+/// through the [`NodeApi`] handed into every callback: sending frames,
+/// scheduling timers, drawing randomness, bumping counters.
+pub trait Protocol: Sized {
+    /// The frame payload type this protocol family exchanges.
+    type Msg: Message;
+
+    /// Called once at simulation start (time zero), in node-id order.
+    /// Schedule initial timers here.
+    fn start(&mut self, api: &mut NodeApi<'_, Self::Msg>);
+
+    /// A frame arrived, already MAC-filtered: either unicast to this node
+    /// or a broadcast it overheard.
+    fn on_packet(&mut self, api: &mut NodeApi<'_, Self::Msg>, from: NodeId, msg: Self::Msg, rx: RxKind);
+
+    /// A timer scheduled via [`NodeApi::set_timer`] fired.
+    fn on_timer(&mut self, api: &mut NodeApi<'_, Self::Msg>, key: TimerKey);
+
+    /// The MAC exhausted its retry limit unicasting `msg` to `to`.
+    ///
+    /// MAODV uses this as its primary link-break detector.
+    fn on_send_failure(&mut self, api: &mut NodeApi<'_, Self::Msg>, to: NodeId, msg: Self::Msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(NodeId::from(7u16), NodeId::new(7));
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn rx_kind_eq() {
+        assert_ne!(RxKind::Unicast, RxKind::Broadcast);
+    }
+}

@@ -1,0 +1,51 @@
+//! ODMRP constants.
+
+use ag_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// ODMRP timing parameters (defaults follow the WCNC '99 paper: 3 s
+/// Join-Query refresh, forwarding-group lifetime of three refreshes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdmrpConfig {
+    /// Interval between a source's Join-Query floods.
+    pub query_interval: SimDuration,
+    /// How long a forwarding-group flag lives without refresh.
+    pub fg_lifetime: SimDuration,
+    /// TTL on Join-Query floods.
+    pub flood_ttl: u8,
+    /// Backward-learning route lifetime.
+    pub route_lifetime: SimDuration,
+    /// Duplicate-suppression cache sizes.
+    pub seen_capacity: usize,
+}
+
+impl OdmrpConfig {
+    /// The original paper's configuration.
+    pub fn default_paper() -> Self {
+        OdmrpConfig {
+            query_interval: SimDuration::from_secs(3),
+            fg_lifetime: SimDuration::from_secs(9),
+            flood_ttl: 16,
+            route_lifetime: SimDuration::from_secs(9),
+            seen_capacity: 2048,
+        }
+    }
+}
+
+impl Default for OdmrpConfig {
+    fn default() -> Self {
+        OdmrpConfig::default_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = OdmrpConfig::default();
+        assert_eq!(c.fg_lifetime, c.query_interval * 3);
+        assert!(c.flood_ttl > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulated time.
+//!
+//! Time is kept as an integer number of nanoseconds since the start of the
+//! simulation. The paper's scenarios run for 600 simulated seconds with MAC
+//! events at microsecond granularity; integer nanoseconds give us exact
+//! arithmetic (no drift) with room for ~584 years of simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+///
+/// `SimTime` is ordered, hashable and cheap to copy. Construct instants by
+/// adding a [`SimDuration`] to [`SimTime::ZERO`] or to another instant.
+///
+/// # Example
+///
+/// ```
+/// use ag_sim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_secs(2);
+/// assert_eq!(t.as_secs_f64(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use ag_sim::SimDuration;
+/// let d = SimDuration::from_millis(200);
+/// assert_eq!(d * 5, SimDuration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel for timers that are currently disabled.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `secs` seconds after simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "duration_since: earlier > self");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition: `SimTime::MAX` is sticky.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from a float second count, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` if the span is zero-length.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimDuration::from_millis(200).as_nanos(), 200_000_000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t - SimTime::from_secs(1), SimDuration::from_millis(500));
+        assert_eq!(t - SimDuration::from_millis(500), SimTime::from_secs(1));
+        assert_eq!(SimDuration::from_millis(200) * 5, SimDuration::from_secs(1));
+        assert_eq!(SimDuration::from_secs(1) / 4, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn duration_since_is_exact() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert_eq!(a.duration_since(b), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn saturating_add_is_sticky() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_matches_nanos() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SimTime::from_secs(1)).is_empty());
+        assert!(!format!("{}", SimDuration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}
