@@ -16,11 +16,18 @@ use std::hint::black_box;
 
 fn describe(label: &str, sc: &Scenario, gossip: bool) {
     let (mean, min, max) = {
-        let r = if gossip { run_gossip(sc, 0) } else { run_maodv(sc, 0) };
+        let r = if gossip {
+            run_gossip(sc, 0)
+        } else {
+            run_maodv(sc, 0)
+        };
         let s = r.received_summary();
         (s.mean(), s.min(), s.max())
     };
-    eprintln!("[ablation] {label:>24}: delivered {mean:>6.1} [{min:.0}, {max:.0}] of {}", sc.packets_sent());
+    eprintln!(
+        "[ablation] {label:>24}: delivered {mean:>6.1} [{min:.0}, {max:.0}] of {}",
+        sc.packets_sent()
+    );
 }
 
 fn ablation(c: &mut Criterion) {

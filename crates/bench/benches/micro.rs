@@ -84,7 +84,12 @@ fn mobility(c: &mut Criterion) {
         let splitter = SeedSplitter::new(3);
         b.iter(|| {
             let mut rng = splitter.stream(StreamKind::Mobility, 0);
-            let mut m = RandomWaypoint::new(Field::paper(), SpeedRange::new(0.0, 10.0), PauseRange::paper(), &mut rng);
+            let mut m = RandomWaypoint::new(
+                Field::paper(),
+                SpeedRange::new(0.0, 10.0),
+                PauseRange::paper(),
+                &mut rng,
+            );
             let end = SimTime::from_secs(600);
             while m.next_transition() < end {
                 let t = m.next_transition();

@@ -76,7 +76,10 @@ impl AgConfig {
     /// Panics if `p_anon` or `p_accept` is outside `[0, 1]`.
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.p_anon), "p_anon out of range");
-        assert!((0.0..=1.0).contains(&self.p_accept), "p_accept out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.p_accept),
+            "p_accept out of range"
+        );
         assert!(self.lost_buffer_max > 0, "lost buffer must be positive");
         assert!(self.reply_max_packets > 0, "reply budget must be positive");
     }

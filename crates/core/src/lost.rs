@@ -192,7 +192,11 @@ mod tests {
         let buf = lt.lost_buffer(3);
         assert_eq!(
             buf,
-            vec![PacketId::new(o(), 5), PacketId::new(o(), 4), PacketId::new(o(), 2)]
+            vec![
+                PacketId::new(o(), 5),
+                PacketId::new(o(), 4),
+                PacketId::new(o(), 2)
+            ]
         );
     }
 

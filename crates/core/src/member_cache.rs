@@ -109,7 +109,8 @@ impl MemberCache {
 
     /// Picks a uniformly random cached member other than `exclude`.
     pub fn pick_random<R: Rng + ?Sized>(&self, rng: &mut R, exclude: NodeId) -> Option<CacheEntry> {
-        let eligible: Vec<&CacheEntry> = self.entries.iter().filter(|e| e.node != exclude).collect();
+        let eligible: Vec<&CacheEntry> =
+            self.entries.iter().filter(|e| e.node != exclude).collect();
         if eligible.is_empty() {
             return None;
         }
@@ -211,7 +212,11 @@ mod tests {
         for _ in 0..200 {
             seen.insert(mc.pick_random(&mut rng, id(99)).unwrap().node);
         }
-        assert_eq!(seen.len(), 5, "all cached members should be picked eventually");
+        assert_eq!(
+            seen.len(),
+            5,
+            "all cached members should be picked eventually"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The gossip wire messages (paper §4.1's five-field gossip message plus
 //! the reply).
 
-use ag_net::{Message, NodeId};
 use ag_maodv::GroupId;
+use ag_net::{Message, NodeId};
 
 /// Identity of one multicast data packet: §4.4's two-tuple sequence
 /// number (sender address, per-sender sequence number).
@@ -81,7 +81,13 @@ impl Message for AgMsg {
             AgMsg::Request(r) => 8 + 6 * r.lost.len() + 6 * r.expected.len(),
             // group 2 + responder 2 + count 2, then header + payload per
             // packet (the actual recovered data rides here).
-            AgMsg::Reply(r) => 6 + r.packets.iter().map(|p| 8 + p.payload_len as usize).sum::<usize>(),
+            AgMsg::Reply(r) => {
+                6 + r
+                    .packets
+                    .iter()
+                    .map(|p| 8 + p.payload_len as usize)
+                    .sum::<usize>()
+            }
         }
     }
 }

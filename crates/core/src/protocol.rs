@@ -26,14 +26,21 @@ type Api<'a> = NodeApi<'a, MaodvMsg<AgMsg>>;
 /// Picks a next hop from `(node, nearest_member)` candidates, weighting
 /// toward smaller member distances with weight `1 / nearest_member`
 /// (§4.2), or uniformly when `locality` is off.
-fn weighted_pick(candidates: &[(NodeId, u8)], locality: bool, rng: &mut SmallRng) -> Option<NodeId> {
+fn weighted_pick(
+    candidates: &[(NodeId, u8)],
+    locality: bool,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
     if candidates.is_empty() {
         return None;
     }
     if !locality {
         return Some(candidates[rng.random_range(0..candidates.len())].0);
     }
-    let weights: Vec<f64> = candidates.iter().map(|&(_, nm)| 1.0 / f64::from(nm.max(1))).collect();
+    let weights: Vec<f64> = candidates
+        .iter()
+        .map(|&(_, nm)| 1.0 / f64::from(nm.max(1)))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut draw = rng.random_range(0.0..total);
     for (i, w) in weights.iter().enumerate() {
@@ -198,7 +205,14 @@ impl AnonymousGossip {
 
     /// A data packet reached this member (any path): account for it and
     /// keep a copy for future gossip replies.
-    fn deliver(&mut self, now: SimTime, origin: NodeId, seq: u32, payload_len: u16, path: DeliveryPath) -> bool {
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        origin: NodeId,
+        seq: u32,
+        payload_len: u16,
+        path: DeliveryPath,
+    ) -> bool {
         let new = self.delivery.record(origin, seq, path);
         self.history.push(PacketRecord {
             id: PacketId::new(origin, seq),
@@ -272,8 +286,12 @@ impl AnonymousGossip {
             rng.random_bool(self.cfg.p_anon)
         };
         let anon_target = {
-            let candidates: Vec<(NodeId, u8)> =
-                self.maodv.mrt().enabled().map(|h| (h.node, h.nearest_member)).collect();
+            let candidates: Vec<(NodeId, u8)> = self
+                .maodv
+                .mrt()
+                .enabled()
+                .map(|h| (h.node, h.nearest_member))
+                .collect();
             weighted_pick(&candidates, self.cfg.locality_weighting, api.rng())
         };
         let cached_target = {
@@ -290,7 +308,8 @@ impl AnonymousGossip {
             (false, _, Some(entry)) | (true, None, Some(entry)) => {
                 self.metrics.rounds_cached += 1;
                 self.cache.record_gossip(entry.node, api.now());
-                self.maodv.send_ext_routed(api, entry.node, AgMsg::Request(req));
+                self.maodv
+                    .send_ext_routed(api, entry.node, AgMsg::Request(req));
                 api.count("ag.request_cached_sent");
             }
             (_, None, None) => {
@@ -309,11 +328,13 @@ impl AnonymousGossip {
         }
         // Record the reverse path: this is what lets the eventual
         // accepting member unicast its reply without route discovery.
-        self.maodv.note_route(api.now(), r.initiator, from, r.hops.saturating_add(1));
+        self.maodv
+            .note_route(api.now(), r.initiator, from, r.hops.saturating_add(1));
         let accept = self.maodv.is_member() && api.rng().random_bool(self.cfg.p_accept);
         if accept {
             self.metrics.requests_accepted += 1;
-            self.cache.observe(r.initiator, r.hops.saturating_add(1), api.now());
+            self.cache
+                .observe(r.initiator, r.hops.saturating_add(1), api.now());
             self.answer_request(api, &r);
             return;
         }
@@ -347,7 +368,8 @@ impl AnonymousGossip {
             None if self.maodv.is_member() => {
                 // Nowhere to go: accept rather than waste the walk.
                 self.metrics.requests_accepted += 1;
-                self.cache.observe(r.initiator, r.hops.saturating_add(1), api.now());
+                self.cache
+                    .observe(r.initiator, r.hops.saturating_add(1), api.now());
                 self.answer_request(api, &r);
             }
             None => {
@@ -384,7 +406,13 @@ impl AnonymousGossip {
         self.cache.observe(rep.responder, hops, api.now());
         for p in rep.packets {
             self.metrics.reply_packets_received += 1;
-            let new = self.deliver(api.now(), p.id.origin, p.id.seq, p.payload_len, DeliveryPath::Gossip);
+            let new = self.deliver(
+                api.now(),
+                p.id.origin,
+                p.id.seq,
+                p.payload_len,
+                DeliveryPath::Gossip,
+            );
             if new {
                 self.metrics.reply_packets_useful += 1;
                 api.count("ag.recovered");
@@ -401,8 +429,10 @@ impl Protocol for AnonymousGossip {
     fn start(&mut self, api: &mut Api<'_>) {
         self.maodv.start(api);
         if self.maodv.is_member() {
-            let jitter =
-                SimDuration::from_nanos(api.rng().random_range(0..self.cfg.gossip_interval.as_nanos().max(1)));
+            let jitter = SimDuration::from_nanos(
+                api.rng()
+                    .random_range(0..self.cfg.gossip_interval.as_nanos().max(1)),
+            );
             api.set_timer(self.cfg.gossip_interval + jitter, TIMER_GOSSIP);
         }
         if let Some(t) = self.traffic {
@@ -543,7 +573,13 @@ mod tests {
     fn reply_returns_exact_lost_matches() {
         let h = history_with(1, &[1, 2, 3, 4, 5]);
         let cfg = AgConfig::paper_default();
-        let r = request(vec![crate::PacketId::new(id(1), 2), crate::PacketId::new(id(1), 4)], vec![]);
+        let r = request(
+            vec![
+                crate::PacketId::new(id(1), 2),
+                crate::PacketId::new(id(1), 4),
+            ],
+            vec![],
+        );
         let out = select_reply_packets(&h, &r, &cfg);
         let seqs: Vec<u32> = out.iter().map(|p| p.id.seq).collect();
         assert_eq!(seqs, vec![2, 4]);
@@ -566,8 +602,15 @@ mod tests {
         };
         // Initiator saw nothing past seq 6 (expected == 7).
         let r = request(vec![], vec![(id(1), 7)]);
-        let seqs: Vec<u32> = select_reply_packets(&h, &r, &cfg).iter().map(|p| p.id.seq).collect();
-        assert_eq!(seqs, vec![7, 8, 9], "oldest first, capped at tail_recovery_max");
+        let seqs: Vec<u32> = select_reply_packets(&h, &r, &cfg)
+            .iter()
+            .map(|p| p.id.seq)
+            .collect();
+        assert_eq!(
+            seqs,
+            vec![7, 8, 9],
+            "oldest first, capped at tail_recovery_max"
+        );
     }
 
     #[test]
@@ -575,9 +618,16 @@ mod tests {
         let h = history_with(1, &[5, 6, 7]);
         let cfg = AgConfig::paper_default();
         let r = request(vec![crate::PacketId::new(id(1), 5)], vec![(id(1), 5)]);
-        let mut seqs: Vec<u32> = select_reply_packets(&h, &r, &cfg).iter().map(|p| p.id.seq).collect();
+        let mut seqs: Vec<u32> = select_reply_packets(&h, &r, &cfg)
+            .iter()
+            .map(|p| p.id.seq)
+            .collect();
         seqs.sort_unstable();
-        assert_eq!(seqs, vec![5, 6, 7], "no duplicates across lost/tail sources");
+        assert_eq!(
+            seqs,
+            vec![5, 6, 7],
+            "no duplicates across lost/tail sources"
+        );
     }
 
     #[test]
@@ -654,7 +704,12 @@ mod tests {
 
     #[test]
     fn stable_pair_delivers_everything_via_tree() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 50, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            50,
+            64,
+        );
         let nodes = vec![
             NodeSetup {
                 mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
@@ -682,7 +737,12 @@ mod tests {
         // returns at t=70 s; the source stops sending at t≈50 s, so the
         // ~50 packets B missed can *only* arrive through gossip pull
         // (tail recovery: B saw nothing after its departure).
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 100, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            100,
+            64,
+        );
         let nodes = vec![
             NodeSetup {
                 mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
@@ -723,7 +783,12 @@ mod tests {
 
     #[test]
     fn goodput_accounting_is_consistent() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 100, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            100,
+            64,
+        );
         let nodes = vec![
             NodeSetup {
                 mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
@@ -755,7 +820,12 @@ mod tests {
 
     #[test]
     fn non_member_nodes_relay_but_do_not_gossip() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 20, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            20,
+            64,
+        );
         let nodes = vec![
             NodeSetup {
                 mobility: Box::new(Stationary::new(Vec2::new(0.0, 0.0))) as Box<dyn Mobility>,
@@ -773,15 +843,28 @@ mod tests {
         let mut e = Engine::new(PhyParams::paper_default(100.0), 24, nodes);
         e.run_until(SimTime::from_secs(60));
         let router = e.protocol(id(1));
-        assert_eq!(router.metrics().rounds_total(), 0, "non-members never start rounds");
-        assert_eq!(router.delivery().distinct(), 0, "routers do not deliver to an app");
+        assert_eq!(
+            router.metrics().rounds_total(),
+            0,
+            "non-members never start rounds"
+        );
+        assert_eq!(
+            router.delivery().distinct(),
+            0,
+            "routers do not deliver to an app"
+        );
         // But the far member got everything through it.
         assert_eq!(e.protocol(id(2)).delivery().distinct(), 20);
     }
 
     #[test]
     fn identical_seeds_reproduce_exactly() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 30, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            30,
+            64,
+        );
         let run = |seed: u64| {
             let nodes = vec![
                 NodeSetup {

@@ -6,8 +6,13 @@ fn main() {
     let seeds = report::env_seeds();
     let secs = report::env_sim_secs();
     let spec = figures::fig7().with_duration_secs(secs);
-    eprintln!("running {} ({} points x {} seeds x 2 protocols, {} s simulated)...",
-              spec.id, spec.xs.len(), seeds, secs);
+    eprintln!(
+        "running {} ({} points x {} seeds x 2 protocols, {} s simulated)...",
+        spec.id,
+        spec.xs.len(),
+        seeds,
+        secs
+    );
     let points = spec.run(seeds);
     println!("{}", report::render_table(spec.title, spec.xlabel, &points));
     println!("{}", report::render_csv(&points));

@@ -56,7 +56,12 @@ pub fn sweep_point(sc: &Scenario, x: f64, seeds: u64) -> SweepPoint {
 
 /// Sweeps `xs`, applying `apply(scenario, x)` to a fresh copy of `base`
 /// at each point.
-pub fn sweep(base: &Scenario, xs: &[f64], apply: fn(&mut Scenario, f64), seeds: u64) -> Vec<SweepPoint> {
+pub fn sweep(
+    base: &Scenario,
+    xs: &[f64],
+    apply: fn(&mut Scenario, f64),
+    seeds: u64,
+) -> Vec<SweepPoint> {
     xs.iter()
         .map(|&x| {
             let mut sc = base.clone();
@@ -85,12 +90,7 @@ mod tests {
     #[test]
     fn sweep_applies_parameter() {
         let base = Scenario::paper(6, 50.0, 0.2).with_duration_secs(30);
-        let pts = sweep(
-            &base,
-            &[60.0, 90.0],
-            |sc, x| sc.range_m = x,
-            1,
-        );
+        let pts = sweep(&base, &[60.0, 90.0], |sc, x| sc.range_m = x, 1);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].x, 60.0);
         assert_eq!(pts[1].x, 90.0);

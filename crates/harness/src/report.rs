@@ -8,13 +8,19 @@ use crate::figures::GoodputSeries;
 /// Environment knob: seeds per sweep point (`AG_SEEDS`, default 10 —
 /// the paper's count).
 pub fn env_seeds() -> u64 {
-    std::env::var("AG_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+    std::env::var("AG_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
 }
 
 /// Environment knob: run length in seconds (`AG_SIM_SECS`, default 600
 /// — the paper's). Scaled runs keep the paper's warm-up proportions.
 pub fn env_sim_secs() -> u64 {
-    std::env::var("AG_SIM_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(600)
+    std::env::var("AG_SIM_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600)
 }
 
 /// Renders a line figure as a fixed-width table mirroring the paper's
@@ -80,7 +86,10 @@ pub fn render_csv(points: &[SweepPoint]) -> String {
 /// Renders Figure 8's per-member goodput series.
 pub fn render_goodput(series: &[GoodputSeries]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Goodput at group members (percent, per member, pooled over seeds)");
+    let _ = writeln!(
+        out,
+        "# Goodput at group members (percent, per member, pooled over seeds)"
+    );
     for s in series {
         let summary: ag_sim::stats::Summary = s.member_goodput.iter().copied().collect();
         let _ = writeln!(

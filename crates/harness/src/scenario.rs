@@ -157,10 +157,9 @@ where
 /// Runs the gossip stack (MAODV + AG) once. Deterministic in
 /// `(scenario, seed)`.
 pub fn run_gossip(sc: &Scenario, seed: u64) -> RunResult {
-    let (mut engine, members, source) =
-        build_engine(sc, seed, |id, member, traffic| {
-            AnonymousGossip::new(sc.ag, sc.maodv, id, GROUP, member, traffic)
-        });
+    let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
+        AnonymousGossip::new(sc.ag, sc.maodv, id, GROUP, member, traffic)
+    });
     engine.run_until(sc.sim_time);
     let member_stats = members
         .iter()
@@ -182,7 +181,11 @@ pub fn run_gossip(sc: &Scenario, seed: u64) -> RunResult {
         source,
         sent: sc.packets_sent(),
         members: member_stats,
-        counters: engine.counters().iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        counters: engine
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
     }
 }
 
@@ -213,7 +216,11 @@ pub fn run_maodv(sc: &Scenario, seed: u64) -> RunResult {
         source,
         sent: sc.packets_sent(),
         members: member_stats,
-        counters: engine.counters().iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        counters: engine
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
     }
 }
 
@@ -221,7 +228,13 @@ pub fn run_maodv(sc: &Scenario, seed: u64) -> RunResult {
 /// point of the paper's §2). Deterministic in `(scenario, seed)`.
 pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
     let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
-        ag_odmrp::OdmrpProtocol::new(ag_odmrp::OdmrpConfig::default_paper(), id, GROUP, member, traffic)
+        ag_odmrp::OdmrpProtocol::new(
+            ag_odmrp::OdmrpConfig::default_paper(),
+            id,
+            GROUP,
+            member,
+            traffic,
+        )
     });
     engine.run_until(sc.sim_time);
     let member_stats = members
@@ -244,7 +257,11 @@ pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
         source,
         sent: sc.packets_sent(),
         members: member_stats,
-        counters: engine.counters().iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        counters: engine
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
     }
 }
 
@@ -314,8 +331,16 @@ mod tests {
         let sc = Scenario::paper(8, 90.0, 1.0).with_duration_secs(40);
         let a = run_gossip(&sc, 3);
         let b = run_gossip(&sc, 3);
-        let fa: Vec<_> = a.members.iter().map(|m| (m.node, m.received, m.via_gossip)).collect();
-        let fb: Vec<_> = b.members.iter().map(|m| (m.node, m.received, m.via_gossip)).collect();
+        let fa: Vec<_> = a
+            .members
+            .iter()
+            .map(|m| (m.node, m.received, m.via_gossip))
+            .collect();
+        let fb: Vec<_> = b
+            .members
+            .iter()
+            .map(|m| (m.node, m.received, m.via_gossip))
+            .collect();
         assert_eq!(fa, fb);
     }
 }

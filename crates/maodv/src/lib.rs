@@ -49,15 +49,22 @@ pub mod route_table;
 pub mod seen;
 
 pub use config::MaodvConfig;
-pub use messages::{DataHeader, GrphPayload, MactKind, MactPayload, MaodvMsg, NoExt, RoutedExt, RrepPayload, RreqPayload};
-pub use node::{Maodv, Upcall, TIMER_GRPH, TIMER_HELLO, TIMER_JOIN_START, TIMER_TICK, TIMER_USER_BASE};
+pub use messages::{
+    DataHeader, GrphPayload, MactKind, MactPayload, MaodvMsg, NoExt, RoutedExt, RrepPayload,
+    RreqPayload,
+};
+pub use node::{
+    Maodv, Upcall, TIMER_GRPH, TIMER_HELLO, TIMER_JOIN_START, TIMER_TICK, TIMER_USER_BASE,
+};
 pub use protocol::{MaodvProtocol, TrafficSource};
 
 /// A multicast group address.
 ///
 /// The paper evaluates a single group; the type keeps call sites honest
 /// and leaves room for multi-group scenarios.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct GroupId(pub u16);
 
 impl std::fmt::Display for GroupId {

@@ -190,7 +190,9 @@ impl<X: Message> Message for MaodvMsg<X> {
     fn wire_size(&self) -> usize {
         match self {
             MaodvMsg::Hello => 12,
-            MaodvMsg::Rreq(r) => 24 + if r.join { 4 } else { 0 } + if r.repair_hops.is_some() { 4 } else { 0 },
+            MaodvMsg::Rreq(r) => {
+                24 + if r.join { 4 } else { 0 } + if r.repair_hops.is_some() { 4 } else { 0 }
+            }
             MaodvMsg::Rrep(_) => 20,
             MaodvMsg::Mact(_) => 16,
             MaodvMsg::Grph(_) => 16,

@@ -127,7 +127,10 @@ impl MulticastRouteTable {
 
     /// The upstream next hop, if one is enabled.
     pub fn upstream(&self) -> Option<NodeId> {
-        self.next_hops.iter().find(|h| h.enabled && h.upstream).map(|h| h.node)
+        self.next_hops
+            .iter()
+            .find(|h| h.enabled && h.upstream)
+            .map(|h| h.node)
     }
 
     /// Removes the entry for `node`; returns `true` if it existed.
@@ -191,13 +194,21 @@ impl MulticastRouteTable {
     /// unicasts only the changes (§4.2: "sent only if different").
     pub fn advertisements(&self, self_is_member: bool) -> Vec<(NodeId, u8)> {
         self.enabled()
-            .map(|h| (h.node, self.advertised_nearest_member(h.node, self_is_member)))
+            .map(|h| {
+                (
+                    h.node,
+                    self.advertised_nearest_member(h.node, self_is_member),
+                )
+            })
             .collect()
     }
 
     /// Distance to the nearest member through *any* enabled next hop.
     pub fn nearest_member_any(&self) -> u8 {
-        self.enabled().map(|h| h.nearest_member).min().unwrap_or(self.infinity)
+        self.enabled()
+            .map(|h| h.nearest_member)
+            .min()
+            .unwrap_or(self.infinity)
     }
 }
 
@@ -270,7 +281,7 @@ mod tests {
         e.enable_next_hop(b, false);
         e.set_nearest_member(f, 3); // E→F→G→H
         e.set_nearest_member(b, 2); // E→B→A
-        // Split horizon: what E tells D excludes D.
+                                    // Split horizon: what E tells D excludes D.
         assert_eq!(e.advertised_nearest_member(d, false), 3); // 1 + min(3, 2)
         assert_eq!(e.advertised_nearest_member(f, false), 2); // 1 + min(1, 2)
         assert_eq!(e.advertised_nearest_member(b, false), 2); // 1 + min(1, 3)
@@ -292,9 +303,9 @@ mod tests {
         d.set_nearest_member(e, 7);
         let ads = d.advertisements(false);
         let get = |n: NodeId| ads.iter().find(|(h, _)| *h == n).unwrap().1;
-        assert_eq!(get(b), 1 + 2.min(7)); // 1+min(c,e)
-        assert_eq!(get(c), 1 + 4.min(7)); // 1+min(b,e)
-        assert_eq!(get(e), 1 + 4.min(2)); // 1+min(b,c)
+        assert_eq!(get(b), 1 + 2); // 1 + min(c, e) = 1 + min(2, 7)
+        assert_eq!(get(c), 1 + 4); // 1 + min(b, e) = 1 + min(4, 7)
+        assert_eq!(get(e), 1 + 2); // 1 + min(b, c) = 1 + min(4, 2)
     }
 
     #[test]

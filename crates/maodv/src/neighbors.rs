@@ -151,7 +151,10 @@ mod tests {
         n.heard(NodeId::new(5), t(0));
         n.heard(NodeId::new(2), t(0));
         n.heard(NodeId::new(9), t(0));
-        assert_eq!(n.alive(t(1)), vec![NodeId::new(2), NodeId::new(5), NodeId::new(9)]);
+        assert_eq!(
+            n.alive(t(1)),
+            vec![NodeId::new(2), NodeId::new(5), NodeId::new(9)]
+        );
     }
 
     #[test]

@@ -272,23 +272,33 @@ impl<X: Message> Maodv<X> {
     /// Schedules the initial timers. Call once from `Protocol::start`.
     pub fn start(&mut self, api: &mut Api<'_, X>) {
         let hello_jitter = SimDuration::from_nanos(
-            api.rng().random_range(0..self.cfg.hello_interval.as_nanos().max(1)),
+            api.rng()
+                .random_range(0..self.cfg.hello_interval.as_nanos().max(1)),
         );
         api.set_timer(hello_jitter, TIMER_HELLO);
-        let tick_jitter =
-            SimDuration::from_nanos(api.rng().random_range(0..self.cfg.tick_interval.as_nanos().max(1)));
+        let tick_jitter = SimDuration::from_nanos(
+            api.rng()
+                .random_range(0..self.cfg.tick_interval.as_nanos().max(1)),
+        );
         api.set_timer(self.cfg.tick_interval + tick_jitter, TIMER_TICK);
         api.set_timer(self.cfg.group_hello_interval, TIMER_GRPH);
         if self.is_member {
-            let join_jitter =
-                SimDuration::from_nanos(api.rng().random_range(0..self.cfg.join_jitter.as_nanos().max(1)));
+            let join_jitter = SimDuration::from_nanos(
+                api.rng()
+                    .random_range(0..self.cfg.join_jitter.as_nanos().max(1)),
+            );
             api.set_timer(join_jitter, TIMER_JOIN_START);
         }
     }
 
     /// Handles one of MAODV's own timers. Returns `true` if the key was
     /// consumed (wrappers pass unknown keys to their own logic).
-    pub fn on_timer(&mut self, api: &mut Api<'_, X>, key: TimerKey, up: &mut Vec<Upcall<X>>) -> bool {
+    pub fn on_timer(
+        &mut self,
+        api: &mut Api<'_, X>,
+        key: TimerKey,
+        up: &mut Vec<Upcall<X>>,
+    ) -> bool {
         match key {
             TIMER_HELLO => {
                 api.broadcast(MaodvMsg::Hello);
@@ -354,8 +364,14 @@ impl<X: Message> Maodv<X> {
         self.neighbors.heard(from, now);
         // Any frame gives us a 1-hop route to the sender.
         let expires = now + self.cfg.active_route_timeout;
-        self.rt
-            .update_allow_stale(from, from, self.rt.known_seq(from).unwrap_or(0), 1, expires, now);
+        self.rt.update_allow_stale(
+            from,
+            from,
+            self.rt.known_seq(from).unwrap_or(0),
+            1,
+            expires,
+            now,
+        );
         match msg {
             MaodvMsg::Hello => {}
             MaodvMsg::Rreq(r) => self.handle_rreq(api, from, r),
@@ -375,7 +391,13 @@ impl<X: Message> Maodv<X> {
 
     /// Handles a MAC-level unicast failure (retry limit exhausted): the
     /// primary link-break detector.
-    pub fn on_send_failure(&mut self, api: &mut Api<'_, X>, to: NodeId, msg: MaodvMsg<X>, up: &mut Vec<Upcall<X>>) {
+    pub fn on_send_failure(
+        &mut self,
+        api: &mut Api<'_, X>,
+        to: NodeId,
+        msg: MaodvMsg<X>,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         api.count("maodv.send_failure");
         self.neighbors.forget(to);
         self.rt.invalidate_via(to);
@@ -474,8 +496,14 @@ impl<X: Message> Maodv<X> {
             return;
         }
         let expires = now + self.cfg.active_route_timeout;
-        self.rt
-            .update_allow_stale(dest, via, self.rt.known_seq(dest).unwrap_or(0), hops, expires, now);
+        self.rt.update_allow_stale(
+            dest,
+            via,
+            self.rt.known_seq(dest).unwrap_or(0),
+            hops,
+            expires,
+            now,
+        );
     }
 
     /// Leaves the group (paper §3: leaf members prune; non-leaf members
@@ -515,7 +543,11 @@ impl<X: Message> Maodv<X> {
             candidates: Vec::new(),
         });
         self.rreq_seen.insert((self.id, rreq_id));
-        api.count(if repair.is_some() { "maodv.repair_rreq" } else { "maodv.join_rreq" });
+        api.count(if repair.is_some() {
+            "maodv.repair_rreq"
+        } else {
+            "maodv.join_rreq"
+        });
         api.broadcast(MaodvMsg::Rreq(RreqPayload {
             origin: self.id,
             origin_seq: self.node_seq,
@@ -616,7 +648,8 @@ impl<X: Message> Maodv<X> {
         }
         // 3a. A tree router without an upstream and not the leader must
         //     repair (covers lost MACT cascades and leader loss).
-        if self.on_tree() && !self.is_leader && self.mrt.upstream().is_none() && self.join.is_none() {
+        if self.on_tree() && !self.is_leader && self.mrt.upstream().is_none() && self.join.is_none()
+        {
             let hops = self.mrt.hops_to_leader;
             self.start_join(api, Some(hops));
         }
@@ -635,7 +668,9 @@ impl<X: Message> Maodv<X> {
             && self.last_tree_grph.is_some()
             && !self.tree_connected(now)
         {
-            let jitter_ns = api.rng().random_range(0..self.cfg.group_hello_interval.as_nanos());
+            let jitter_ns = api
+                .rng()
+                .random_range(0..self.cfg.group_hello_interval.as_nanos());
             let stale_for = now.duration_since(self.last_tree_grph.expect("checked"));
             if stale_for.as_nanos() > self.cfg.group_hello_interval.as_nanos() * 5 / 2 + jitter_ns {
                 api.count("maodv.orphan_repair");
@@ -680,19 +715,22 @@ impl<X: Message> Maodv<X> {
     }
 
     fn select_candidate(cands: &[JoinCandidate]) -> Option<JoinCandidate> {
-        cands
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                a.group_seq
-                    .cmp(&b.group_seq)
-                    .then(b.hops_to_tree.cmp(&a.hops_to_tree))
-                    .then(b.via.cmp(&a.via))
-            })
+        cands.iter().copied().max_by(|a, b| {
+            a.group_seq
+                .cmp(&b.group_seq)
+                .then(b.hops_to_tree.cmp(&a.hops_to_tree))
+                .then(b.via.cmp(&a.via))
+        })
     }
 
     /// Requester side of MACT: activate the best candidate branch.
-    fn activate_branch(&mut self, api: &mut Api<'_, X>, best: JoinCandidate, rreq_id: u32, up: &mut Vec<Upcall<X>>) {
+    fn activate_branch(
+        &mut self,
+        api: &mut Api<'_, X>,
+        best: JoinCandidate,
+        rreq_id: u32,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         // An orphan re-graft replaces a still-enabled but disconnected
         // upstream: prune that stale edge so both sides agree (the old
         // upstream's subtree will run its own orphan repair).
@@ -833,7 +871,13 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_rrep(&mut self, api: &mut Api<'_, X>, from: NodeId, p: RrepPayload, up: &mut Vec<Upcall<X>>) {
+    fn handle_rrep(
+        &mut self,
+        api: &mut Api<'_, X>,
+        from: NodeId,
+        p: RrepPayload,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         let now = api.now();
         if p.hop_count >= 2 * self.cfg.flood_ttl {
             // A reply circulating on stale reverse routes; kill the loop.
@@ -842,10 +886,23 @@ impl<X: Message> Maodv<X> {
         }
         let expires = now + self.cfg.active_route_timeout;
         // Forward route to the reply's destination/responder.
-        self.rt.update_allow_stale(p.dest, from, p.seq, p.hop_count.saturating_add(1), expires, now);
+        self.rt.update_allow_stale(
+            p.dest,
+            from,
+            p.seq,
+            p.hop_count.saturating_add(1),
+            expires,
+            now,
+        );
         if p.responder != p.dest {
-            self.rt
-                .update_allow_stale(p.responder, from, 0, p.hop_count.saturating_add(1), expires, now);
+            self.rt.update_allow_stale(
+                p.responder,
+                from,
+                0,
+                p.hop_count.saturating_add(1),
+                expires,
+                now,
+            );
         }
         if p.origin == self.id {
             match p.group {
@@ -918,7 +975,13 @@ impl<X: Message> Maodv<X> {
         );
     }
 
-    fn handle_mact(&mut self, api: &mut Api<'_, X>, from: NodeId, m: MactPayload, up: &mut Vec<Upcall<X>>) {
+    fn handle_mact(
+        &mut self,
+        api: &mut Api<'_, X>,
+        from: NodeId,
+        m: MactPayload,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         if m.group != self.group {
             return;
         }
@@ -1045,7 +1108,13 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_data(&mut self, api: &mut Api<'_, X>, from: NodeId, d: DataHeader, up: &mut Vec<Upcall<X>>) {
+    fn handle_data(
+        &mut self,
+        api: &mut Api<'_, X>,
+        from: NodeId,
+        d: DataHeader,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         if d.group != self.group || d.origin == self.id {
             return;
         }
@@ -1091,7 +1160,13 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_routed(&mut self, api: &mut Api<'_, X>, from: NodeId, r: RoutedExt<X>, up: &mut Vec<Upcall<X>>) {
+    fn handle_routed(
+        &mut self,
+        api: &mut Api<'_, X>,
+        from: NodeId,
+        r: RoutedExt<X>,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         let now = api.now();
         // The routed frame teaches us the way back to its source.
         self.rt.update_allow_stale(
@@ -1130,7 +1205,12 @@ impl<X: Message> Maodv<X> {
         );
     }
 
-    fn handle_tree_break(&mut self, api: &mut Api<'_, X>, neighbor: NodeId, up: &mut Vec<Upcall<X>>) {
+    fn handle_tree_break(
+        &mut self,
+        api: &mut Api<'_, X>,
+        neighbor: NodeId,
+        up: &mut Vec<Upcall<X>>,
+    ) {
         let was_upstream = self.mrt.upstream() == Some(neighbor);
         self.mrt.remove_next_hop(neighbor);
         self.nm_sent.remove(&neighbor);

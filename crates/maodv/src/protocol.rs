@@ -161,7 +161,13 @@ impl Protocol for MaodvProtocol {
         }
     }
 
-    fn on_packet(&mut self, api: &mut NodeApi<'_, Self::Msg>, from: NodeId, msg: Self::Msg, rx: RxKind) {
+    fn on_packet(
+        &mut self,
+        api: &mut NodeApi<'_, Self::Msg>,
+        from: NodeId,
+        msg: Self::Msg,
+        rx: RxKind,
+    ) {
         let mut up = Vec::new();
         self.node.on_packet(api, from, msg, rx, &mut up);
         self.process(up);
@@ -178,7 +184,8 @@ impl Protocol for MaodvProtocol {
                 if api.now() <= t.end {
                     let seq = self.node.send_data(api, t.payload_len);
                     // The origin trivially "receives" its own packet.
-                    self.delivery.record(self.node.id(), seq, DeliveryPath::Tree);
+                    self.delivery
+                        .record(self.node.id(), seq, DeliveryPath::Tree);
                     api.set_timer(t.interval, TIMER_TRAFFIC);
                 }
             }
@@ -267,14 +274,16 @@ mod tests {
         let c = TrafficSource::compact(SimTime::from_secs(1), SimDuration::from_millis(100), 7, 64);
         assert_eq!(c.packet_count(), 7);
         assert_eq!(
-            TrafficSource::compact(SimTime::from_secs(1), SimDuration::from_millis(100), 1, 64).packet_count(),
+            TrafficSource::compact(SimTime::from_secs(1), SimDuration::from_millis(100), 1, 64)
+                .packet_count(),
             1
         );
     }
 
     #[test]
     fn single_member_becomes_leader() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 1, 64);
+        let t =
+            TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 1, 64);
         let mut e = build(&[(0.0, 0.0), (40.0, 0.0)], &[0], 0, t, 75.0, 1);
         e.run_until(SimTime::from_secs(20));
         assert!(e.protocol(NodeId::new(0)).node().is_leader());
@@ -285,14 +294,25 @@ mod tests {
 
     #[test]
     fn two_members_form_tree_and_deliver() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 25, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            25,
+            64,
+        );
         let mut e = build(&[(0.0, 0.0), (40.0, 0.0)], &[0, 1], 0, t, 75.0, 2);
         e.run_until(SimTime::from_secs(40));
         let a = e.protocol(NodeId::new(0)).node();
         let b = e.protocol(NodeId::new(1)).node();
         assert!(a.on_tree() && b.on_tree());
         // Exactly one leader.
-        assert_eq!([a.is_leader(), b.is_leader()].iter().filter(|&&l| l).count(), 1);
+        assert_eq!(
+            [a.is_leader(), b.is_leader()]
+                .iter()
+                .filter(|&&l| l)
+                .count(),
+            1
+        );
         // All 25 packets at the non-source member.
         assert_eq!(e.protocol(NodeId::new(1)).delivery().distinct(), 25);
     }
@@ -301,8 +321,20 @@ mod tests {
     fn chain_delivery_through_router() {
         // A(member/source) — R(router) — B(member); 80 m hops, 100 m range:
         // A and B cannot hear each other directly (160 m apart).
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 30, 64);
-        let mut e = build(&[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)], &[0, 2], 0, t, 100.0, 3);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            30,
+            64,
+        );
+        let mut e = build(
+            &[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+            &[0, 2],
+            0,
+            t,
+            100.0,
+            3,
+        );
         e.run_until(SimTime::from_secs(40));
         let r = e.protocol(NodeId::new(1)).node();
         assert!(r.on_tree(), "router must be grafted");
@@ -312,14 +344,22 @@ mod tests {
         // The router's nearest_member values: members on both sides, 1 hop.
         let nm: Vec<u8> = r.mrt().enabled().map(|h| h.nearest_member).collect();
         assert_eq!(nm.len(), 2);
-        assert!(nm.iter().all(|&v| v == 1), "both tree neighbours are members: {nm:?}");
+        assert!(
+            nm.iter().all(|&v| v == 1),
+            "both tree neighbours are members: {nm:?}"
+        );
     }
 
     #[test]
     fn nearest_member_propagates_down_a_chain() {
         // M(member) — R1 — R2 — M2(member): four hops of 70 m, range 90.
         // R2's nearest member via R1 must converge to 2.
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(500), 10, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(500),
+            10,
+            64,
+        );
         let mut e = build(
             &[(0.0, 0.0), (70.0, 0.0), (140.0, 0.0), (210.0, 0.0)],
             &[0, 3],
@@ -343,7 +383,8 @@ mod tests {
         // detect the break and become leader of its own partition.
         let cfg = MaodvConfig::paper_default();
         let g = GroupId(0);
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 5, 64);
+        let t =
+            TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 5, 64);
         let nodes = vec![
             NodeSetup {
                 mobility: stationary(0.0, 0.0),
@@ -374,12 +415,27 @@ mod tests {
         // Members A(0 m) and B(160 m) are out of range (range 100) and both
         // become leaders; router R(80 m) hears both. GRPH floods relayed by
         // R must make the higher-id leader defer and graft through R.
-        let t = TrafficSource::compact(SimTime::from_secs(60), SimDuration::from_millis(200), 40, 64);
-        let mut e = build(&[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)], &[0, 2], 0, t, 100.0, 6);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(60),
+            SimDuration::from_millis(200),
+            40,
+            64,
+        );
+        let mut e = build(
+            &[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+            &[0, 2],
+            0,
+            t,
+            100.0,
+            6,
+        );
         e.run_until(SimTime::from_secs(90));
         let a = e.protocol(NodeId::new(0)).node();
         let b = e.protocol(NodeId::new(2)).node();
-        let leaders = [a.is_leader(), b.is_leader()].iter().filter(|&&l| l).count();
+        let leaders = [a.is_leader(), b.is_leader()]
+            .iter()
+            .filter(|&&l| l)
+            .count();
         assert_eq!(leaders, 1, "exactly one leader after merge");
         // Data must flow across the merged tree.
         assert!(
@@ -391,7 +447,12 @@ mod tests {
 
     #[test]
     fn source_counts_its_own_packets() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 10, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            10,
+            64,
+        );
         let mut e = build(&[(0.0, 0.0), (40.0, 0.0)], &[0, 1], 0, t, 75.0, 7);
         e.run_until(SimTime::from_secs(40));
         assert_eq!(e.protocol(NodeId::new(0)).delivery().distinct(), 10);
@@ -401,7 +462,8 @@ mod tests {
     fn tree_connected_tracks_grph_flow() {
         // In a stable 2-member pair, both ends must report a proven path
         // to the leader once group hellos have flowed.
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 5, 64);
+        let t =
+            TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 5, 64);
         let mut e = build(&[(0.0, 0.0), (40.0, 0.0)], &[0, 1], 0, t, 75.0, 31);
         e.run_until(SimTime::from_secs(40));
         let now = e.now();
@@ -416,7 +478,8 @@ mod tests {
         // again). Run long enough for the takeover: B ends up leader.
         let cfg = MaodvConfig::paper_default();
         let g = GroupId(0);
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 5, 64);
+        let t =
+            TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 5, 64);
         let nodes = vec![
             NodeSetup {
                 mobility: stationary(0.0, 0.0),
@@ -448,10 +511,21 @@ mod tests {
         // is replaced — instead, reuse leave_group by wrapping MaodvProtocol.
         // Simpler equivalent: 2-hop chain where B simply never joins, so
         // R never grafts — the tree must not contain R.
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(500), 5, 64);
-        let mut e = build(&[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)], &[0], 0, t, 100.0, 34);
+        let t =
+            TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(500), 5, 64);
+        let mut e = build(
+            &[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+            &[0],
+            0,
+            t,
+            100.0,
+            34,
+        );
         e.run_until(SimTime::from_secs(60));
-        assert!(!e.protocol(NodeId::new(1)).node().on_tree(), "router with no member below must not persist on tree");
+        assert!(
+            !e.protocol(NodeId::new(1)).node().on_tree(),
+            "router with no member below must not persist on tree"
+        );
         assert!(!e.protocol(NodeId::new(2)).node().on_tree());
     }
 
@@ -459,8 +533,20 @@ mod tests {
     fn rrep_loops_are_cut() {
         // Sanity: the loop guard counter exists and stays zero in a
         // healthy static network (no stale reverse routes).
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 10, 64);
-        let mut e = build(&[(0.0, 0.0), (60.0, 0.0), (120.0, 0.0)], &[0, 2], 0, t, 90.0, 35);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            10,
+            64,
+        );
+        let mut e = build(
+            &[(0.0, 0.0), (60.0, 0.0), (120.0, 0.0)],
+            &[0, 2],
+            0,
+            t,
+            90.0,
+            35,
+        );
         e.run_until(SimTime::from_secs(60));
         assert_eq!(e.counters().get("maodv.rrep_loop_dropped"), 0);
     }
@@ -469,9 +555,20 @@ mod tests {
     fn spurious_prune_recovers_via_rejoin() {
         // Even if transient collisions cause spurious link breaks and
         // prunes, members must end fully re-joined in a static topology.
-        let t = TrafficSource::compact(SimTime::from_secs(60), SimDuration::from_millis(200), 300, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(60),
+            SimDuration::from_millis(200),
+            300,
+            64,
+        );
         let mut e = build(
-            &[(0.0, 0.0), (70.0, 0.0), (140.0, 0.0), (70.0, 70.0), (140.0, 70.0)],
+            &[
+                (0.0, 0.0),
+                (70.0, 0.0),
+                (140.0, 0.0),
+                (70.0, 70.0),
+                (140.0, 70.0),
+            ],
             &[0, 2, 4],
             0,
             t,
@@ -480,7 +577,10 @@ mod tests {
         );
         e.run_until(SimTime::from_secs(180));
         for m in [0u16, 2, 4] {
-            assert!(e.protocol(NodeId::new(m)).node().on_tree(), "member {m} must be (re)joined");
+            assert!(
+                e.protocol(NodeId::new(m)).node().on_tree(),
+                "member {m} must be (re)joined"
+            );
         }
         // Delivery must be near-total despite any transient churn.
         for m in [2u16, 4] {
@@ -491,7 +591,12 @@ mod tests {
 
     #[test]
     fn runs_deterministic_end_to_end() {
-        let t = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 20, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(30),
+            SimDuration::from_millis(200),
+            20,
+            64,
+        );
         let run = |seed| {
             let mut e = build(
                 &[(0.0, 0.0), (60.0, 0.0), (120.0, 0.0), (60.0, 60.0)],
@@ -505,7 +610,7 @@ mod tests {
             (
                 e.protocol(NodeId::new(2)).delivery().distinct(),
                 e.protocol(NodeId::new(3)).delivery().distinct(),
-                e.counters().iter().map(|(k, v)| (k, v)).collect::<Vec<_>>(),
+                e.counters().iter().collect::<Vec<_>>(),
             )
         };
         assert_eq!(run(11), run(11));

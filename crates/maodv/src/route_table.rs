@@ -58,7 +58,14 @@ impl RouteTable {
     /// fresh with a shorter hop count, or the existing entry has expired.
     ///
     /// Returns `true` if the table changed.
-    pub fn update(&mut self, dest: NodeId, next_hop: NodeId, seq: u32, hops: u8, expires: SimTime) -> bool {
+    pub fn update(
+        &mut self,
+        dest: NodeId,
+        next_hop: NodeId,
+        seq: u32,
+        hops: u8,
+        expires: SimTime,
+    ) -> bool {
         match self.routes.get_mut(&dest) {
             Some(e) => {
                 let fresher = seq > e.seq || (seq == e.seq && hops < e.hops);
@@ -189,10 +196,16 @@ mod tests {
         rt.update(NodeId::new(1), NodeId::new(2), 5, 3, t(3));
         // Older seq rejected.
         assert!(!rt.update(NodeId::new(1), NodeId::new(7), 4, 1, t(3)));
-        assert_eq!(rt.lookup(NodeId::new(1), t(0)).unwrap().next_hop, NodeId::new(2));
+        assert_eq!(
+            rt.lookup(NodeId::new(1), t(0)).unwrap().next_hop,
+            NodeId::new(2)
+        );
         // Fresher seq accepted.
         assert!(rt.update(NodeId::new(1), NodeId::new(7), 6, 4, t(4)));
-        assert_eq!(rt.lookup(NodeId::new(1), t(0)).unwrap().next_hop, NodeId::new(7));
+        assert_eq!(
+            rt.lookup(NodeId::new(1), t(0)).unwrap().next_hop,
+            NodeId::new(7)
+        );
     }
 
     #[test]
@@ -218,7 +231,10 @@ mod tests {
         rt.update(NodeId::new(1), NodeId::new(2), 9, 3, t(3));
         // At t=5 entry is expired; an older-seq update must be allowed in.
         assert!(rt.update_allow_stale(NodeId::new(1), NodeId::new(4), 2, 1, t(8), t(5)));
-        assert_eq!(rt.lookup(NodeId::new(1), t(5)).unwrap().next_hop, NodeId::new(4));
+        assert_eq!(
+            rt.lookup(NodeId::new(1), t(5)).unwrap().next_hop,
+            NodeId::new(4)
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
         for n in [40, 60, 80, 100] {
             let r = range_for_constant_degree(40, 55.0, n);
             let d = expected_degree(n, r, f);
-            assert!((d - d0).abs() < 1e-9, "degree drifted at n={n}: {d} vs {d0}");
+            assert!(
+                (d - d0).abs() < 1e-9,
+                "degree drifted at n={n}: {d} vs {d0}"
+            );
         }
     }
 

@@ -31,8 +31,14 @@ impl Field {
     ///
     /// Panics if either dimension is not strictly positive and finite.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "invalid field width {width}");
-        assert!(height > 0.0 && height.is_finite(), "invalid field height {height}");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "invalid field width {width}"
+        );
+        assert!(
+            height > 0.0 && height.is_finite(),
+            "invalid field height {height}"
+        );
         Field { width, height }
     }
 

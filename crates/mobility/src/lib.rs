@@ -48,5 +48,7 @@ mod vec2;
 pub mod density;
 
 pub use field::Field;
-pub use models::{Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, MIN_EFFECTIVE_SPEED};
+pub use models::{
+    Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, MIN_EFFECTIVE_SPEED,
+};
 pub use vec2::Vec2;

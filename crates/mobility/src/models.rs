@@ -34,7 +34,10 @@ impl SpeedRange {
     ///
     /// Panics unless `0 ≤ min ≤ max` and `max > 0`.
     pub fn new(min: f64, max: f64) -> Self {
-        assert!(min >= 0.0 && min <= max && max > 0.0, "invalid speed range [{min}, {max}]");
+        assert!(
+            min >= 0.0 && min <= max && max > 0.0,
+            "invalid speed range [{min}, {max}]"
+        );
         SpeedRange { min, max }
     }
 
@@ -86,7 +89,10 @@ impl PauseRange {
 
     /// Creates a pause range from float seconds.
     pub fn uniform_secs(lo: f64, hi: f64) -> Self {
-        PauseRange::new(SimDuration::from_secs_f64(lo), SimDuration::from_secs_f64(hi))
+        PauseRange::new(
+            SimDuration::from_secs_f64(lo),
+            SimDuration::from_secs_f64(hi),
+        )
     }
 
     /// The paper's `U(0, 80) s` pause distribution.
@@ -439,7 +445,12 @@ mod tests {
     #[test]
     fn waypoint_starts_inside_and_moving() {
         let mut r = rng(3);
-        let m = RandomWaypoint::new(Field::paper(), SpeedRange::new(0.0, 2.0), PauseRange::paper(), &mut r);
+        let m = RandomWaypoint::new(
+            Field::paper(),
+            SpeedRange::new(0.0, 2.0),
+            PauseRange::paper(),
+            &mut r,
+        );
         assert!(Field::paper().contains(m.position(SimTime::ZERO)));
         assert!(m.next_transition() > SimTime::ZERO);
     }
@@ -487,7 +498,12 @@ mod tests {
     #[test]
     fn waypoint_zero_pause_goes_straight_to_next_leg() {
         let mut r = rng(6);
-        let mut m = RandomWaypoint::new(Field::paper(), SpeedRange::fixed(10.0), PauseRange::none(), &mut r);
+        let mut m = RandomWaypoint::new(
+            Field::paper(),
+            SpeedRange::fixed(10.0),
+            PauseRange::none(),
+            &mut r,
+        );
         let arrive = m.next_transition();
         m.transition(arrive, &mut r);
         // Still moving: next transition strictly after arrive.
@@ -513,7 +529,12 @@ mod tests {
     fn walk_stays_in_field() {
         let mut r = rng(8);
         let f = Field::new(50.0, 50.0);
-        let mut m = RandomWalk::new(f, SpeedRange::fixed(5.0), SimDuration::from_secs(10), &mut r);
+        let mut m = RandomWalk::new(
+            f,
+            SpeedRange::fixed(5.0),
+            SimDuration::from_secs(10),
+            &mut r,
+        );
         for _ in 0..100 {
             let t = m.next_transition();
             assert!(f.contains(m.position(t)));

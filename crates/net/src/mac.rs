@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn fifo_order() {
         let mut m = mac();
-        m.enqueue(OutFrame { dest: Some(NodeId::new(9)), msg: 1 });
+        m.enqueue(OutFrame {
+            dest: Some(NodeId::new(9)),
+            msg: 1,
+        });
         m.enqueue(OutFrame { dest: None, msg: 2 });
         assert_eq!(m.head().unwrap().msg, 1);
         assert_eq!(m.pop_head().unwrap().msg, 1);

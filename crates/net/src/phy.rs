@@ -55,11 +55,14 @@ impl PhyParams {
     ///
     /// Panics unless `range_m` is strictly positive and finite.
     pub fn paper_default(range_m: f64) -> Self {
-        assert!(range_m > 0.0 && range_m.is_finite(), "invalid range {range_m}");
+        assert!(
+            range_m > 0.0 && range_m.is_finite(),
+            "invalid range {range_m}"
+        );
         PhyParams {
             range_m,
             bitrate_bps: 2_000_000,
-            preamble_us: 192, // 802.11b long preamble + PLCP
+            preamble_us: 192,     // 802.11b long preamble + PLCP
             mac_header_bytes: 28, // 24 B MAC header + 4 B FCS
             slot_us: 20,
             difs_us: 50,
@@ -74,7 +77,10 @@ impl PhyParams {
     /// Returns a copy with a different transmission range (the paper's
     /// sweep parameter).
     pub fn with_range(mut self, range_m: f64) -> Self {
-        assert!(range_m > 0.0 && range_m.is_finite(), "invalid range {range_m}");
+        assert!(
+            range_m > 0.0 && range_m.is_finite(),
+            "invalid range {range_m}"
+        );
         self.range_m = range_m;
         self
     }

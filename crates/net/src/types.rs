@@ -92,7 +92,13 @@ pub trait Protocol: Sized {
 
     /// A frame arrived, already MAC-filtered: either unicast to this node
     /// or a broadcast it overheard.
-    fn on_packet(&mut self, api: &mut NodeApi<'_, Self::Msg>, from: NodeId, msg: Self::Msg, rx: RxKind);
+    fn on_packet(
+        &mut self,
+        api: &mut NodeApi<'_, Self::Msg>,
+        from: NodeId,
+        msg: Self::Msg,
+        rx: RxKind,
+    );
 
     /// A timer scheduled via [`NodeApi::set_timer`] fired.
     fn on_timer(&mut self, api: &mut NodeApi<'_, Self::Msg>, key: TimerKey);

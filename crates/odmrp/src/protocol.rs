@@ -173,7 +173,13 @@ impl Protocol for OdmrpProtocol {
         }
     }
 
-    fn on_packet(&mut self, api: &mut NodeApi<'_, OdmrpMsg>, from: NodeId, msg: OdmrpMsg, _rx: RxKind) {
+    fn on_packet(
+        &mut self,
+        api: &mut NodeApi<'_, OdmrpMsg>,
+        from: NodeId,
+        msg: OdmrpMsg,
+        _rx: RxKind,
+    ) {
         let now = api.now();
         match msg {
             OdmrpMsg::JoinQuery {
@@ -279,7 +285,8 @@ impl Protocol for OdmrpProtocol {
                     if api.now() <= t.end {
                         self.data_seq += 1;
                         self.data_seen.insert((self.id, self.data_seq));
-                        self.delivery.record(self.id, self.data_seq, DeliveryPath::Tree);
+                        self.delivery
+                            .record(self.id, self.data_seq, DeliveryPath::Tree);
                         api.count("odmrp.data_originated");
                         api.broadcast(OdmrpMsg::Data {
                             group: self.group,
@@ -343,7 +350,12 @@ mod tests {
 
     #[test]
     fn adjacent_members_deliver_without_forwarding_group() {
-        let t = TrafficSource::compact(SimTime::from_secs(20), SimDuration::from_millis(200), 30, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(20),
+            SimDuration::from_millis(200),
+            30,
+            64,
+        );
         let mut e = build(&[(0.0, 0.0), (40.0, 0.0)], &[0, 1], 0, t, 75.0, 1);
         e.run_until(SimTime::from_secs(30));
         assert_eq!(e.protocol(NodeId::new(1)).delivery().distinct(), 30);
@@ -353,11 +365,26 @@ mod tests {
     fn relay_joins_forwarding_group_and_forwards() {
         // S — R — M chain: R must be nominated into the forwarding group
         // by M's Join-Reply and relay the data.
-        let t = TrafficSource::compact(SimTime::from_secs(20), SimDuration::from_millis(200), 40, 64);
-        let mut e = build(&[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)], &[0, 2], 0, t, 100.0, 2);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(20),
+            SimDuration::from_millis(200),
+            40,
+            64,
+        );
+        let mut e = build(
+            &[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+            &[0, 2],
+            0,
+            t,
+            100.0,
+            2,
+        );
         e.run_until(SimTime::from_secs(30));
         let r = e.protocol(NodeId::new(1));
-        assert!(r.in_forwarding_group(e.now()), "relay must be in the forwarding group");
+        assert!(
+            r.in_forwarding_group(e.now()),
+            "relay must be in the forwarding group"
+        );
         assert!(!r.is_member());
         assert_eq!(e.protocol(NodeId::new(2)).delivery().distinct(), 40);
         assert!(e.counters().get("odmrp.data_forwarded") > 0);
@@ -370,7 +397,12 @@ mod tests {
         // one relay is always in the forwarding group and delivery is
         // complete; across rounds the nominated relay may alternate
         // (that per-round re-selection is ODMRP's soft-state repair).
-        let t = TrafficSource::compact(SimTime::from_secs(20), SimDuration::from_millis(200), 20, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(20),
+            SimDuration::from_millis(200),
+            20,
+            64,
+        );
         let mut e = build(
             &[(0.0, 0.0), (80.0, 60.0), (80.0, -60.0), (160.0, 0.0)],
             &[0, 3],
@@ -390,8 +422,20 @@ mod tests {
     fn forwarding_group_expires_without_refresh() {
         // After the source stops sending (and hence stops querying), the
         // forwarding-group soft state must time out.
-        let t = TrafficSource::compact(SimTime::from_secs(20), SimDuration::from_millis(200), 10, 64);
-        let mut e = build(&[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)], &[0, 2], 0, t, 100.0, 4);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(20),
+            SimDuration::from_millis(200),
+            10,
+            64,
+        );
+        let mut e = build(
+            &[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+            &[0, 2],
+            0,
+            t,
+            100.0,
+            4,
+        );
         e.run_until(SimTime::from_secs(60));
         assert!(
             !e.protocol(NodeId::new(1)).in_forwarding_group(e.now()),
@@ -401,7 +445,12 @@ mod tests {
 
     #[test]
     fn duplicate_data_is_counted_once() {
-        let t = TrafficSource::compact(SimTime::from_secs(20), SimDuration::from_millis(200), 20, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(20),
+            SimDuration::from_millis(200),
+            20,
+            64,
+        );
         let mut e = build(
             &[(0.0, 0.0), (80.0, 60.0), (80.0, -60.0), (160.0, 0.0)],
             &[0, 3],
@@ -422,9 +471,21 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let t = TrafficSource::compact(SimTime::from_secs(20), SimDuration::from_millis(200), 15, 64);
+        let t = TrafficSource::compact(
+            SimTime::from_secs(20),
+            SimDuration::from_millis(200),
+            15,
+            64,
+        );
         let run = |seed| {
-            let mut e = build(&[(0.0, 0.0), (70.0, 0.0), (140.0, 0.0)], &[0, 2], 0, t, 90.0, seed);
+            let mut e = build(
+                &[(0.0, 0.0), (70.0, 0.0), (140.0, 0.0)],
+                &[0, 2],
+                0,
+                t,
+                90.0,
+                seed,
+            );
             e.run_until(SimTime::from_secs(30));
             (
                 e.protocol(NodeId::new(2)).delivery().distinct(),

@@ -93,7 +93,9 @@ impl SeedSplitter {
     pub fn derive(&self, kind: StreamKind, index: u64) -> u64 {
         // Two rounds of splitmix over a combination that keeps
         // (master, tag, index) injective enough for our stream counts.
-        let mixed = splitmix64(self.master ^ splitmix64(kind.tag().wrapping_mul(0xA076_1D64_78BD_642F) ^ index));
+        let mixed = splitmix64(
+            self.master ^ splitmix64(kind.tag().wrapping_mul(0xA076_1D64_78BD_642F) ^ index),
+        );
         splitmix64(mixed)
     }
 
@@ -112,8 +114,16 @@ mod tests {
     #[test]
     fn streams_are_reproducible() {
         let s = SeedSplitter::new(7);
-        let a: Vec<u64> = s.stream(StreamKind::Mac, 9).random_iter().take(16).collect();
-        let b: Vec<u64> = s.stream(StreamKind::Mac, 9).random_iter().take(16).collect();
+        let a: Vec<u64> = s
+            .stream(StreamKind::Mac, 9)
+            .random_iter()
+            .take(16)
+            .collect();
+        let b: Vec<u64> = s
+            .stream(StreamKind::Mac, 9)
+            .random_iter()
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -130,7 +140,10 @@ mod tests {
             StreamKind::Scenario,
         ] {
             for idx in 0..200 {
-                assert!(seeds.insert(s.derive(kind, idx)), "collision at {kind:?}/{idx}");
+                assert!(
+                    seeds.insert(s.derive(kind, idx)),
+                    "collision at {kind:?}/{idx}"
+                );
             }
         }
     }

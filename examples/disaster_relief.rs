@@ -14,7 +14,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ag-harness --example disaster_relief
+//! cargo run --release --example disaster_relief
 //! ```
 
 use ag_harness::{run_gossip, run_maodv, Scenario};
@@ -29,8 +29,12 @@ fn main() {
     let sc = sc.with_duration_secs(300);
     let seed = 7;
 
-    println!("disaster-relief site: {} radios, {} coordinators, {} situation reports\n",
-        sc.nodes, sc.member_count, sc.packets_sent());
+    println!(
+        "disaster-relief site: {} radios, {} coordinators, {} situation reports\n",
+        sc.nodes,
+        sc.member_count,
+        sc.packets_sent()
+    );
 
     let maodv = run_maodv(&sc, seed);
     let gossip = run_gossip(&sc, seed);
@@ -42,7 +46,11 @@ fn main() {
     println!("{}", "-".repeat(58));
     for (m, g) in maodv.members.iter().zip(gossip.members.iter()) {
         assert_eq!(m.node, g.node);
-        let tag = if m.node == maodv.source { " source" } else { "" };
+        let tag = if m.node == maodv.source {
+            " source"
+        } else {
+            ""
+        };
         println!(
             "{:>8} | {:>14} | {:>14} {:>12}{tag}",
             m.node.to_string(),
@@ -71,7 +79,13 @@ fn main() {
     );
     println!(
         "\ncoordinators below 90% of reports: MAODV {}, with gossip {}",
-        maodv.receivers().filter(|m| (m.received as f64) < 0.9 * maodv.sent as f64).count(),
-        gossip.receivers().filter(|m| (m.received as f64) < 0.9 * gossip.sent as f64).count(),
+        maodv
+            .receivers()
+            .filter(|m| (m.received as f64) < 0.9 * maodv.sent as f64)
+            .count(),
+        gossip
+            .receivers()
+            .filter(|m| (m.received as f64) < 0.9 * gossip.sent as f64)
+            .count(),
     );
 }

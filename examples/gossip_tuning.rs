@@ -11,7 +11,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ag-harness --example gossip_tuning
+//! cargo run --release --example gossip_tuning
 //! ```
 
 use ag_harness::{run_gossip, Scenario};

@@ -13,7 +13,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ag-harness --example highway_convoy
+//! cargo run --release --example highway_convoy
 //! ```
 
 use ag_core::{AgConfig, AnonymousGossip};
@@ -36,7 +36,12 @@ fn main() {
     let splitter = SeedSplitter::new(seed);
 
     // The lead vehicle broadcasts a hazard report twice a second.
-    let traffic = TrafficSource::compact(SimTime::from_secs(60), SimDuration::from_millis(500), 480, 64);
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(60),
+        SimDuration::from_millis(500),
+        480,
+        64,
+    );
 
     let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..n)
         .map(|i| {
@@ -66,7 +71,10 @@ fn main() {
     engine.run_until(SimTime::from_secs(360));
 
     let sent = traffic.packet_count();
-    println!("convoy of {n} vehicles; {} hazard subscribers; {sent} warnings sent\n", members.len());
+    println!(
+        "convoy of {n} vehicles; {} hazard subscribers; {sent} warnings sent\n",
+        members.len()
+    );
     println!(
         "{:>8} {:>10} {:>12} {:>14}",
         "vehicle", "received", "recovered", "delivery"

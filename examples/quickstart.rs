@@ -8,7 +8,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ag-harness --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use ag_core::{AgConfig, AnonymousGossip};
@@ -28,7 +28,12 @@ fn main() {
     let splitter = SeedSplitter::new(seed);
 
     // One member streams 200 64-byte packets, 5 per second.
-    let traffic = TrafficSource::compact(SimTime::from_secs(30), SimDuration::from_millis(200), 200, 64);
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(30),
+        SimDuration::from_millis(200),
+        200,
+        64,
+    );
 
     let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..n)
         .map(|i| {
@@ -60,8 +65,14 @@ fn main() {
 
     // ── Report. ──
     let sent = traffic.packet_count();
-    println!("source {source} multicast {sent} packets to {} members\n", members.len());
-    println!("{:>8} {:>10} {:>10} {:>12} {:>10}", "member", "received", "via tree", "via gossip", "goodput");
+    println!(
+        "source {source} multicast {sent} packets to {} members\n",
+        members.len()
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "member", "received", "via tree", "via gossip", "goodput"
+    );
     for &m in &members {
         let p = engine.protocol(m);
         let d = p.delivery();

@@ -1,0 +1,29 @@
+//! # Anonymous Gossip — workspace umbrella crate
+//!
+//! Reproduction of *Anonymous Gossip: Improving Multicast Reliability in
+//! Mobile Ad-Hoc Networks* (Chandra, Ramasubramanian, Birman — ICDCS
+//! 2001). This top-level package carries the cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`), and re-exports
+//! every workspace crate so downstream users can depend on a single
+//! name.
+//!
+//! The actual implementation lives in the `crates/` members:
+//!
+//! * [`sim`] — deterministic discrete-event kernel, RNG streams, stats.
+//! * [`mobility`] — analytic random-waypoint and stationary models.
+//! * [`net`] — unit-disk PHY, 802.11 DCF MAC, the network [`net::Engine`].
+//! * [`maodv`] — the MAODV multicast tree substrate (paper §3).
+//! * [`odmrp`] — the mesh-based ODMRP comparison protocol (§2).
+//! * [`core`] — the Anonymous Gossip protocol itself (§4).
+//! * [`harness`] — the §5 evaluation: scenarios, sweeps, figures 2–8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ag_core as core;
+pub use ag_harness as harness;
+pub use ag_maodv as maodv;
+pub use ag_mobility as mobility;
+pub use ag_net as net;
+pub use ag_odmrp as odmrp;
+pub use ag_sim as sim;

@@ -71,7 +71,10 @@ fn source_always_has_everything() {
 fn counters_are_populated_by_real_traffic() {
     let sc = small_scenario();
     let r = run_gossip(&sc, 3);
-    assert!(r.counter("mac.broadcast_tx") > 1000, "hellos + data + floods");
+    assert!(
+        r.counter("mac.broadcast_tx") > 1000,
+        "hellos + data + floods"
+    );
     assert!(r.counter("maodv.data_originated") > 0);
     assert!(r.counter("maodv.join_rrep_sent") > 0);
     assert!(r.counter("maodv.grph_originated") > 0);
@@ -86,7 +89,8 @@ fn member_caches_fill_without_membership_protocol() {
     let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..sc.nodes)
         .map(|i| {
             let id = NodeId::new(i as u16);
-            let mut rng = ag_sim::rng::SeedSplitter::new(4).stream(ag_sim::rng::StreamKind::Placement, i as u64);
+            let mut rng = ag_sim::rng::SeedSplitter::new(4)
+                .stream(ag_sim::rng::StreamKind::Placement, i as u64);
             NodeSetup {
                 mobility: Box::new(ag_mobility::RandomWaypoint::new(
                     sc.field,
@@ -123,14 +127,25 @@ fn static_grid_has_perfect_tree_delivery() {
     // A 4×4 static grid with generous range: no mobility, no repairs —
     // the tree alone should deliver everything to every member.
     let spacing = 50.0;
-    let members: Vec<NodeId> = vec![NodeId::new(0), NodeId::new(5), NodeId::new(10), NodeId::new(15)];
-    let traffic = TrafficSource::compact(SimTime::from_secs(40), SimDuration::from_millis(200), 100, 64);
+    let members: Vec<NodeId> = vec![
+        NodeId::new(0),
+        NodeId::new(5),
+        NodeId::new(10),
+        NodeId::new(15),
+    ];
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(40),
+        SimDuration::from_millis(200),
+        100,
+        64,
+    );
     let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..16u16)
         .map(|i| {
             let id = NodeId::new(i);
             let (x, y) = ((i % 4) as f64 * spacing, (i / 4) as f64 * spacing);
             NodeSetup {
-                mobility: Box::new(Stationary::new(Vec2::new(x, y))) as Box<dyn ag_mobility::Mobility>,
+                mobility: Box::new(Stationary::new(Vec2::new(x, y)))
+                    as Box<dyn ag_mobility::Mobility>,
                 protocol: AnonymousGossip::new(
                     AgConfig::paper_default(),
                     MaodvConfig::paper_default(),

@@ -137,7 +137,9 @@ fn mesh_beats_bare_tree_but_costs_more_transmissions() {
     let mut odmrp_recv = 0.0;
     let mut maodv_recv = 0.0;
     for seed in 0..SEEDS {
-        odmrp_recv += ag_harness::run_odmrp(&mobile, seed).received_summary().mean();
+        odmrp_recv += ag_harness::run_odmrp(&mobile, seed)
+            .received_summary()
+            .mean();
         maodv_recv += ag_harness::run(&mobile, seed, ag_harness::ProtocolKind::Maodv)
             .received_summary()
             .mean();

@@ -1,0 +1,209 @@
+//! Offline API-compatible stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal shim (see `vendor/README.md`). It supports the
+//! subset the `ag-bench` suite uses — [`Criterion::bench_function`],
+//! the `sample_size`/`measurement_time`/`warm_up_time` builders and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — and measures with
+//! a plain wall-clock sampling loop: warm up, then time up to
+//! `sample_size` batches or until `measurement_time` elapses, and print
+//! mean/min/max per-iteration time. No statistical analysis, HTML
+//! reports or CLI filtering; swapping the real criterion back in is a
+//! one-line change in the root manifest.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measuring time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time run before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, sampling loop, one summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: at least one pass, then keep going until the budget
+        // is spent. Also an estimate of the per-pass cost.
+        let warm_start = Instant::now();
+        loop {
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.iters = 0;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if run_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+
+        if samples.is_empty() {
+            println!("{name:<40} (no iterations recorded)");
+            return self;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Per-benchmark timing handle (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, discarding its output via
+    /// [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a group of benchmark targets (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        assert!(calls >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn group_macro_compiles_in_both_forms() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("t", |b| b.iter(|| 1u8));
+        }
+        criterion_group! {
+            name = configured;
+            config = Criterion::default()
+                .sample_size(1)
+                .measurement_time(Duration::from_millis(1))
+                .warm_up_time(Duration::from_millis(1));
+            targets = target
+        }
+        criterion_group!(defaults, target);
+        let _ = (configured, defaults);
+        configured();
+    }
+}

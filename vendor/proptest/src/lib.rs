@@ -1,0 +1,220 @@
+//! Offline API-compatible stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal shim (see `vendor/README.md`) covering the subset
+//! the unit tests use: the [`proptest!`] macro over `arg in strategy`
+//! parameters, integer/float range strategies,
+//! [`collection::vec`](crate::collection::vec) and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Unlike the real proptest there is **no shrinking and no persistent
+//! failure file**: each property runs [`NUM_CASES`] cases drawn from a
+//! generator seeded by the test's name, so failures reproduce exactly
+//! on re-run but are reported with the raw (unshrunk) inputs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of generated cases per property.
+pub const NUM_CASES: u32 = 256;
+
+/// Deterministic case generator, seeded from the property's name so
+/// every run of a given test replays the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an arbitrary seed string.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, as a stable cross-run seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span >= 1);
+        ((self.next_u64() as u128) * span) >> 64
+    }
+}
+
+/// A source of random values of one type (mirrors `proptest::strategy::Strategy`,
+/// minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.next_f64() as $t * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + rng.next_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size` (half-open, like
+    /// the real API's `SizeRange` from a `Range`).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of the real crate's `proptest::prelude::prop` re-export path.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface tests use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Asserts a property condition (panics instead of the real crate's
+/// error-return, which makes no observable difference without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two property values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`NUM_CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut case_rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for _ in 0..$crate::NUM_CASES {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut case_rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Integer range strategies respect their bounds.
+        #[test]
+        fn int_ranges_in_bounds(x in 3u32..17, y in 0usize..5, z in -4i64..=4) {
+            assert!((3..17).contains(&x));
+            assert!(y < 5);
+            prop_assert!((-4..=4).contains(&z));
+        }
+
+        /// Float ranges respect their bounds.
+        #[test]
+        fn float_ranges_in_bounds(f in -1e3f64..1e3) {
+            prop_assert!((-1e3..1e3).contains(&f));
+        }
+
+        /// Vec strategy honours element and size ranges.
+        #[test]
+        fn vecs_in_bounds(xs in prop::collection::vec(0u16..50, 1..200)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 200);
+            prop_assert_eq!(xs.iter().filter(|&&v| v >= 50).count(), 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

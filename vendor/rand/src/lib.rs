@@ -1,0 +1,314 @@
+//! Offline API-compatible stand-in for `rand` 0.9.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal shim (see `vendor/README.md`) covering exactly the
+//! surface the simulation uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `random`, `random_range`, `random_bool`
+//!   and `random_iter` (the rand 0.9 method names);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::SmallRng`], a real xoshiro256++ generator (the same
+//!   algorithm family the real crate uses on 64-bit targets), seeded via
+//!   SplitMix64 exactly as rand's `seed_from_u64` does.
+//!
+//! The streams are deterministic: a generator's output is a pure
+//! function of its seed, which is all the reproduction's
+//! "runs are a pure function of (scenario, seed)" guarantee needs. The
+//! bit streams are *not* guaranteed identical to the real crate's, so
+//! swapping the real rand back in would change individual run numbers
+//! (not their statistics).
+
+#![forbid(unsafe_code)]
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their full value range (the shim's
+/// analogue of sampling from rand's `StandardUniform` distribution;
+/// floats sample from `[0, 1)`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits into [0, 1), the standard conversion.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Range shapes accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range; panics if it is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` for `span >= 1` via Lemire's widening
+/// multiply; unbiased enough for simulation use (bias < 2^-64 · span).
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!((1..=1 << 64).contains(&span));
+    ((rng.next_u64() as u128) * span) >> 64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let x = <$t as Standard>::sample(rng);
+                self.start + x * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let x = <$t as Standard>::sample(rng);
+                x.mul_add(hi - lo, lo)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors rand 0.9's `Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` over its standard distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Consumes the generator into an infinite iterator of draws.
+    fn random_iter<T: Standard>(self) -> RandomIter<Self, T>
+    where
+        Self: Sized,
+    {
+        RandomIter {
+            rng: self,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Iterator returned by [`Rng::random_iter`].
+#[derive(Debug, Clone)]
+pub struct RandomIter<R, T> {
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<R: RngCore, T: Standard> Iterator for RandomIter<R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(T::sample(&mut self.rng))
+    }
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as rand's seed_from_u64 does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.random_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(3..=17u64);
+            assert!((3..=17).contains(&y));
+            let f = r.random_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let g = r.random_range(0.0..=1.0f64);
+            assert!((0.0..=1.0).contains(&g));
+            let i = r.random_range(0..10_000);
+            assert!((0..10_000).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_domain_ranges_do_not_overflow() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let _ = r.random_range(u64::MIN..=u64::MAX);
+        let _ = r.random_range(i64::MIN..=i64::MAX);
+        let _ = r.random_range(i64::MIN..i64::MAX);
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honoured() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "got {hits}");
+        assert_eq!((0..1000).filter(|_| r.random_bool(0.0)).count(), 0);
+        assert_eq!((0..1000).filter(|_| r.random_bool(1.0)).count(), 1000);
+    }
+
+    #[test]
+    fn uniformity_over_small_span() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.random_range(0..7usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_iter_streams() {
+        let r = SmallRng::seed_from_u64(3);
+        let v: Vec<u64> = r.random_iter().take(4).collect();
+        let w: Vec<u64> = SmallRng::seed_from_u64(3).random_iter().take(4).collect();
+        assert_eq!(v, w);
+        assert_eq!(v.len(), 4);
+    }
+}

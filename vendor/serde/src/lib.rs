@@ -1,0 +1,36 @@
+//! Offline API-compatible stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal shim (see `vendor/README.md`). The workspace uses
+//! serde purely as derive decoration today (no serializer is wired up),
+//! so the traits are markers with blanket impls: every type satisfies
+//! `Serialize`/`Deserialize` bounds, and the no-op derives from
+//! `serde_derive` keep the annotation sites source-compatible with the
+//! real crate. Swapping the real serde back in is a two-line change in
+//! the root manifest's `[workspace.dependencies]`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of the real crate's `serde::de` module path.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of the real crate's `serde::ser` module path.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal shim (see `vendor/README.md`). The derives accept
+//! the same syntax as the real macros — including `#[serde(...)]`
+//! helper attributes — and expand to nothing; the trait impls are
+//! provided by blanket impls in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
