@@ -1,0 +1,63 @@
+//! Scaling benchmarks for the PR-2 engine refactor.
+//!
+//! Two questions, matching the two halves of the refactor:
+//!
+//! 1. **Engine throughput vs node count** — the same beaconing network
+//!    at N ∈ {50, 200, 500} (constant density), once through the grid
+//!    spatial index and once through the brute-force receiver/collision
+//!    scans. The grid's advantage must *grow* with N; at N = 500 it is
+//!    the difference between tractable and not.
+//! 2. **Serial vs parallel sweeps** — the same multi-seed sweep point on
+//!    one worker thread and on four. Results are bit-identical (see
+//!    `tests/parallel_determinism.rs`); only wall-clock may differ, and
+//!    by how much depends on the host's core count.
+
+use ag_bench::beacon_engine;
+use ag_harness::experiment::sweep_point_par;
+use ag_harness::{Parallelism, Scenario};
+use ag_sim::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Simulated seconds per engine-throughput iteration: long enough to
+/// amortize start-up transients (initial bucketing, allocator growth)
+/// into steady state, short enough that even the brute-force 500-node
+/// run finishes in sensible bench time.
+const ENGINE_SIM_SECS: u64 = 30;
+
+fn engine_scaling(c: &mut Criterion) {
+    for &n in &[50usize, 200, 500] {
+        for (label, spatial) in [("grid", true), ("brute", false)] {
+            c.bench_function(
+                &format!("engine_{n}_nodes_{ENGINE_SIM_SECS}s_{label}"),
+                |b| {
+                    b.iter(|| {
+                        let mut e = beacon_engine(n, 1, spatial);
+                        e.run_until(SimTime::from_secs(ENGINE_SIM_SECS));
+                        black_box(e.protocols().iter().map(|p| p.heard).sum::<u64>())
+                    });
+                },
+            );
+        }
+    }
+}
+
+fn sweep_parallelism(c: &mut Criterion) {
+    let sc = Scenario::paper(12, 75.0, 1.0).with_duration_secs(40);
+    for (label, threads) in [("serial", 1usize), ("4_threads", 4)] {
+        c.bench_function(&format!("sweep_point_4_seeds_{label}"), |b| {
+            b.iter(|| black_box(sweep_point_par(&sc, 75.0, 4, Parallelism::new(threads))));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    targets = engine_scaling, sweep_parallelism
+}
+criterion_main!(benches);

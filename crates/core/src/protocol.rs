@@ -679,6 +679,15 @@ mod tests {
                 self.a
             }
         }
+        fn current_leg(&self) -> ag_mobility::LegSample {
+            // Per-phase jump legs; each is exact until (and past) the
+            // phase's transition, when the engine re-queries.
+            match self.phase {
+                0 => ag_mobility::LegSample::jump(self.a, self.b, self.at),
+                1 => ag_mobility::LegSample::jump(self.b, self.a, self.back),
+                _ => ag_mobility::LegSample::fixed(self.a),
+            }
+        }
         fn next_transition(&self) -> SimTime {
             match self.phase {
                 0 => self.at,

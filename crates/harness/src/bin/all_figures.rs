@@ -1,10 +1,19 @@
 //! Regenerates every figure of the paper in sequence.
+//!
+//! Seeds of each sweep point run on a worker pool sized by `AG_THREADS`
+//! (default: all cores); output is identical for every thread count.
 
-use ag_harness::{figures, report};
+use ag_harness::{figures, report, Parallelism};
 
 fn main() {
     let seeds = report::env_seeds();
     let secs = report::env_sim_secs();
+    eprintln!(
+        "{} seeds/point, {} s simulated, {} worker thread(s)",
+        seeds,
+        secs,
+        Parallelism::auto().threads()
+    );
     for spec in figures::all_line_figures() {
         let spec = spec.with_duration_secs(secs);
         eprintln!("running {}...", spec.id);

@@ -5,10 +5,17 @@
 //! mean is the paper's plotted line and its min/max are the error bars
 //! ("the range of measured data values obtained for the full set of
 //! receivers", §5.1).
+//!
+//! Seeds are independent runs, so a sweep point farms them across a
+//! worker pool (see [`crate::parallel`]) and merges the per-seed
+//! summaries **in seed order regardless of completion order** — the
+//! pooled result is bit-for-bit identical whether it ran on one thread
+//! or sixteen.
 
 use ag_sim::stats::Summary;
 use serde::Serialize;
 
+use crate::parallel::{run_seeds, Parallelism};
 use crate::{run_gossip, run_maodv, Scenario};
 
 /// One x-position of a figure: pooled receiver summaries for both
@@ -27,23 +34,44 @@ pub struct SweepPoint {
     pub goodput: Summary,
 }
 
-/// Runs one sweep point over `seeds` seeds.
+/// The per-seed slice of a sweep point, produced by one worker.
+struct SeedOutcome {
+    maodv: Summary,
+    gossip: Summary,
+    goodput: Vec<f64>,
+    sent: u64,
+}
+
+/// Runs one sweep point over `seeds` seeds with
+/// [`Parallelism::auto`]-sized parallelism.
 pub fn sweep_point(sc: &Scenario, x: f64, seeds: u64) -> SweepPoint {
+    sweep_point_par(sc, x, seeds, Parallelism::auto())
+}
+
+/// Runs one sweep point over `seeds` seeds on `par` worker threads.
+///
+/// Per-seed outcomes are merged in seed order, so the result is
+/// identical for every thread count.
+pub fn sweep_point_par(sc: &Scenario, x: f64, seeds: u64, par: Parallelism) -> SweepPoint {
+    let outcomes = run_seeds(seeds, par, |seed| {
+        let m = run_maodv(sc, seed);
+        let g = run_gossip(sc, seed);
+        SeedOutcome {
+            maodv: m.received_summary(),
+            gossip: g.received_summary(),
+            goodput: g.receivers().filter_map(|ms| ms.goodput_percent).collect(),
+            sent: g.sent,
+        }
+    });
     let mut maodv = Summary::new();
     let mut gossip = Summary::new();
     let mut goodput = Summary::new();
     let mut sent = 0;
-    for seed in 0..seeds {
-        let m = run_maodv(sc, seed);
-        maodv.merge(&m.received_summary());
-        let g = run_gossip(sc, seed);
-        gossip.merge(&g.received_summary());
-        for ms in g.receivers() {
-            if let Some(gp) = ms.goodput_percent {
-                goodput.record(gp);
-            }
-        }
-        sent = g.sent;
+    for o in &outcomes {
+        maodv.merge(&o.maodv);
+        gossip.merge(&o.gossip);
+        goodput.extend(o.goodput.iter().copied());
+        sent = o.sent;
     }
     SweepPoint {
         x,
@@ -55,18 +83,31 @@ pub fn sweep_point(sc: &Scenario, x: f64, seeds: u64) -> SweepPoint {
 }
 
 /// Sweeps `xs`, applying `apply(scenario, x)` to a fresh copy of `base`
-/// at each point.
+/// at each point, with [`Parallelism::auto`]-sized parallelism per
+/// point.
 pub fn sweep(
     base: &Scenario,
     xs: &[f64],
     apply: fn(&mut Scenario, f64),
     seeds: u64,
 ) -> Vec<SweepPoint> {
+    sweep_par(base, xs, apply, seeds, Parallelism::auto())
+}
+
+/// Sweeps `xs` on `par` worker threads (seeds of one point run
+/// concurrently; points run in order so output streams deterministically).
+pub fn sweep_par(
+    base: &Scenario,
+    xs: &[f64],
+    apply: fn(&mut Scenario, f64),
+    seeds: u64,
+    par: Parallelism,
+) -> Vec<SweepPoint> {
     xs.iter()
         .map(|&x| {
             let mut sc = base.clone();
             apply(&mut sc, x);
-            sweep_point(&sc, x, seeds)
+            sweep_point_par(&sc, x, seeds, par)
         })
         .collect()
 }
@@ -94,5 +135,15 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].x, 60.0);
         assert_eq!(pts[1].x, 90.0);
+    }
+
+    #[test]
+    fn parallel_merge_is_bit_identical_to_serial() {
+        let sc = Scenario::paper(8, 100.0, 0.5).with_duration_secs(40);
+        let serial = sweep_point_par(&sc, 1.0, 3, Parallelism::serial());
+        let par = sweep_point_par(&sc, 1.0, 3, Parallelism::new(3));
+        // Debug formatting prints the exact bits of every float, so this
+        // is a bit-for-bit comparison of the pooled summaries.
+        assert_eq!(format!("{serial:?}"), format!("{par:?}"));
     }
 }

@@ -2,9 +2,11 @@
 //! [`crate::experiment::sweep`].
 
 use ag_mobility::density;
+use ag_sim::stats::Histogram;
 use serde::Serialize;
 
 use crate::experiment::{sweep, SweepPoint};
+use crate::parallel::{run_seeds, Parallelism};
 use crate::{run_gossip, Scenario};
 
 /// A regenerable figure: base scenario, swept values and the knob they
@@ -146,30 +148,47 @@ pub struct GoodputSeries {
     /// Per-member goodput observations pooled over seeds, sorted by
     /// member index within each run.
     pub member_goodput: Vec<f64>,
+    /// The same observations binned 0–100 % in 5 % bins: per-seed
+    /// histograms merged associatively in seed order.
+    pub goodput_hist: Histogram,
 }
 
 /// Figure 8: goodput at the group members for
-/// {45 m, 75 m} × {0.2 m/s, 2 m/s} (gossip runs only).
+/// {45 m, 75 m} × {0.2 m/s, 2 m/s} (gossip runs only). Seeds of each
+/// configuration run on the [`Parallelism::auto`] worker pool; pooled
+/// observations keep seed order, so output is thread-count independent.
 pub fn fig8(seeds: u64, duration_secs: u64) -> Vec<GoodputSeries> {
+    fig8_par(seeds, duration_secs, Parallelism::auto())
+}
+
+/// [`fig8`] with an explicit worker-thread count.
+pub fn fig8_par(seeds: u64, duration_secs: u64, par: Parallelism) -> Vec<GoodputSeries> {
     let configs = [(45.0, 0.2), (75.0, 0.2), (45.0, 2.0), (75.0, 2.0)];
     configs
         .iter()
         .map(|&(range, speed)| {
             let sc = Scenario::paper(40, range, speed).with_duration_secs(duration_secs);
-            let mut member_goodput = Vec::new();
-            for seed in 0..seeds {
-                let r = run_gossip(&sc, seed);
-                for m in r.receivers() {
-                    if let Some(g) = m.goodput_percent {
-                        member_goodput.push(g);
-                    }
+            let per_seed = run_seeds(seeds, par, |seed| {
+                let goodputs: Vec<f64> = run_gossip(&sc, seed)
+                    .receivers()
+                    .filter_map(|m| m.goodput_percent)
+                    .collect();
+                let mut hist = Histogram::new(0.0, 100.0, 20);
+                for &g in &goodputs {
+                    hist.record(g);
                 }
+                (goodputs, hist)
+            });
+            let mut goodput_hist = Histogram::new(0.0, 100.0, 20);
+            for (_, h) in &per_seed {
+                goodput_hist.merge(h);
             }
             GoodputSeries {
                 label: format!("{range}m, {speed}m/s"),
                 range_m: range,
                 max_speed: speed,
-                member_goodput,
+                member_goodput: per_seed.into_iter().flat_map(|(g, _)| g).collect(),
+                goodput_hist,
             }
         })
         .collect()

@@ -15,9 +15,13 @@
 //! * [`figures`] — one [`figures::FigureSpec`] per paper figure (2–8).
 //! * [`report`] — ASCII/CSV rendering of a regenerated figure.
 //!
+//! * [`parallel`] — the multi-seed worker pool; seeds of a sweep point
+//!   run concurrently and merge deterministically in seed order.
+//!
 //! The `fig2` … `fig8` binaries print each figure's series; environment
 //! variables `AG_SEEDS` (default 10) and `AG_SIM_SECS` (default 600)
-//! scale the sweep down for quick runs.
+//! scale the sweep down for quick runs, and `AG_THREADS` caps the
+//! worker-thread count (default: all available cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +31,9 @@ mod scenario;
 
 pub mod experiment;
 pub mod figures;
+pub mod parallel;
 pub mod report;
 
+pub use parallel::Parallelism;
 pub use result::{MemberStats, RunResult};
 pub use scenario::{run, run_gossip, run_maodv, run_odmrp, ProtocolKind, Scenario, GROUP};

@@ -1,0 +1,164 @@
+//! Multi-seed parallelism: farm independent simulation runs across OS
+//! threads, merge results deterministically.
+//!
+//! Every figure pools statistics over many independent seeds, and each
+//! seed's run is a pure function of `(scenario, seed)` — embarrassingly
+//! parallel. [`run_seeds`] executes a per-seed job on a small worker
+//! pool and returns the results **in seed order**, so any fold over them
+//! is bit-for-bit identical to a serial loop no matter how the OS
+//! schedules the workers. The kernel itself stays sequential (that is
+//! what buys exact reproducibility); parallelism lives strictly at the
+//! whole-run granularity.
+//!
+//! Thread count comes from [`Parallelism`]: explicit, or
+//! [`Parallelism::auto`] honoring the `AG_THREADS` environment variable
+//! and falling back to the machine's available parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a sweep may use.
+///
+/// # Example
+///
+/// ```
+/// use ag_harness::Parallelism;
+/// assert_eq!(Parallelism::serial().threads(), 1);
+/// assert!(Parallelism::auto().threads() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        Parallelism { threads }
+    }
+
+    /// One worker: the plain serial loop.
+    pub fn serial() -> Self {
+        Parallelism::new(1)
+    }
+
+    /// `AG_THREADS` if set to a positive integer, otherwise the
+    /// machine's available parallelism (1 if unknown).
+    pub fn auto() -> Self {
+        if let Some(n) = std::env::var("AG_THREADS")
+            .ok()
+            .as_deref()
+            .and_then(parse_threads)
+        {
+            return Parallelism::new(n);
+        }
+        Parallelism::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Parses an `AG_THREADS` value; `None` for anything but a positive
+/// integer.
+fn parse_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Runs `job(seed)` for every seed in `0..seeds` on up to
+/// [`Parallelism::threads`] workers and returns the results **indexed
+/// by seed**, regardless of completion order.
+///
+/// Seeds are handed out through a shared atomic counter (dynamic load
+/// balancing — seeds vary a lot in wall-clock cost), but the output
+/// order is fixed, so folds over the returned vector are deterministic.
+pub fn run_seeds<T, F>(seeds: u64, par: Parallelism, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let n = usize::try_from(seeds).expect("seed count overflows usize");
+    let workers = par.threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..seeds).map(job).collect();
+    }
+    let next = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= seeds {
+                    break;
+                }
+                let out = job(seed);
+                *slots[seed as usize].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a seed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let _ = Parallelism::new(0);
+    }
+
+    #[test]
+    fn results_come_back_in_seed_order() {
+        for threads in [1, 2, 8] {
+            let out = run_seeds(16, Parallelism::new(threads), |seed| {
+                // Skew per-seed cost so completion order scrambles.
+                std::thread::sleep(std::time::Duration::from_micros((16 - seed) * 200));
+                seed * 10
+            });
+            let expected: Vec<u64> = (0..16).map(|s| s * 10).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_seeds_is_fine() {
+        let out = run_seeds(2, Parallelism::new(16), |s| s);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_seeds_yields_empty() {
+        let out = run_seeds(0, Parallelism::new(4), |s| s);
+        assert!(out.is_empty());
+    }
+}

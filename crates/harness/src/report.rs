@@ -143,11 +143,15 @@ mod tests {
 
     #[test]
     fn goodput_rendering() {
+        let mut hist = ag_sim::stats::Histogram::new(0.0, 100.0, 20);
+        hist.record(99.0);
+        hist.record(100.0);
         let s = GoodputSeries {
             label: "45m, 0.2m/s".into(),
             range_m: 45.0,
             max_speed: 0.2,
             member_goodput: vec![99.0, 100.0],
+            goodput_hist: hist,
         };
         let r = render_goodput(&[s]);
         assert!(r.contains("45m, 0.2m/s"));

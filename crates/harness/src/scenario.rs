@@ -58,6 +58,10 @@ pub struct Scenario {
     pub ag: AgConfig,
     /// MAODV parameters.
     pub maodv: MaodvConfig,
+    /// Use the engine's grid spatial index (`true`, default) or the
+    /// brute-force receiver/collision scans (`false`; differential
+    /// testing and scaling baselines only — results are identical).
+    pub spatial_index: bool,
 }
 
 impl Scenario {
@@ -78,7 +82,34 @@ impl Scenario {
             traffic: TrafficSource::paper(),
             ag: AgConfig::paper_default(),
             maodv: MaodvConfig::paper_default(),
+            spatial_index: true,
         }
+    }
+
+    /// A "city-scale" environment far beyond the paper's 40 nodes: a
+    /// 1 km × 1 km field, 100 m radio range, up to 5 m/s vehicular-ish
+    /// speeds and a 4 %-of-nodes multicast group (minimum 2). Only
+    /// tractable with the grid spatial index; see
+    /// `examples/city_scale.rs` and the `scaling` bench.
+    pub fn city_scale(nodes: usize) -> Self {
+        let mut sc = Scenario::paper(nodes, 100.0, 5.0);
+        sc.field = Field::new(1000.0, 1000.0);
+        sc.member_count = (nodes / 25).max(2);
+        sc
+    }
+
+    /// Returns a copy on a different field (the paper fixes 200 m ×
+    /// 200 m; larger workloads want more room).
+    pub fn with_field(mut self, field: Field) -> Self {
+        self.field = field;
+        self
+    }
+
+    /// Returns a copy selecting the grid-indexed (`true`) or
+    /// brute-force (`false`) engine lookup path.
+    pub fn with_spatial_index(mut self, enabled: bool) -> Self {
+        self.spatial_index = enabled;
+        self
     }
 
     /// Rescales the run to `secs` seconds, keeping the paper's
@@ -126,7 +157,7 @@ impl Scenario {
     }
 
     fn phy(&self) -> PhyParams {
-        PhyParams::paper_default(self.range_m)
+        PhyParams::paper_default(self.range_m).with_spatial_index(self.spatial_index)
     }
 }
 

@@ -229,6 +229,11 @@ mod tests {
                 self.a
             }
         }
+        fn current_leg(&self) -> ag_mobility::LegSample {
+            // The jump leg describes the whole trajectory exactly (the
+            // 1 ns "travel" window contains no queryable instant).
+            ag_mobility::LegSample::jump(self.a, self.b, self.at)
+        }
         fn next_transition(&self) -> SimTime {
             if self.done {
                 SimTime::MAX

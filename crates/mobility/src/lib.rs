@@ -49,6 +49,7 @@ pub mod density;
 
 pub use field::Field;
 pub use models::{
-    Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, MIN_EFFECTIVE_SPEED,
+    LegSample, Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary,
+    MIN_EFFECTIVE_SPEED,
 };
 pub use vec2::Vec2;

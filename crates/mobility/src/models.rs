@@ -114,6 +114,105 @@ impl PauseRange {
     }
 }
 
+/// An analytic sample of one trajectory leg: linear motion from `from`
+/// (held before `depart`) to `to` (held after `arrive`).
+///
+/// This is the currency of leg-aware position sampling: instead of
+/// re-entering a boxed [`Mobility`] model on every range check, the
+/// network engine caches each node's [`LegSample`] at mobility
+/// transitions and interpolates positions inline. [`LegSample::position_at`]
+/// is the *single* interpolation routine shared with the models
+/// themselves, so cached sampling is bit-identical to querying the model.
+///
+/// A pause is a degenerate leg with `from == to`; an instantaneous jump
+/// (used by test doubles) is a leg whose `depart`/`arrive` are one
+/// nanosecond apart.
+///
+/// # Example
+///
+/// ```
+/// use ag_mobility::{LegSample, Vec2};
+/// use ag_sim::SimTime;
+///
+/// let leg = LegSample::moving(
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(10.0, 0.0),
+///     SimTime::ZERO,
+///     SimTime::from_secs(10),
+/// );
+/// assert_eq!(leg.position_at(SimTime::from_secs(5)), Vec2::new(5.0, 0.0));
+/// assert_eq!(leg.position_at(SimTime::from_secs(99)), Vec2::new(10.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LegSample {
+    /// Position at (and before) `depart`.
+    pub from: Vec2,
+    /// Position at (and after) `arrive`.
+    pub to: Vec2,
+    /// When the leg leaves `from`.
+    pub depart: SimTime,
+    /// When the leg reaches `to`.
+    pub arrive: SimTime,
+}
+
+impl LegSample {
+    /// A leg that never moves: the node sits at `at` forever.
+    pub fn fixed(at: Vec2) -> Self {
+        LegSample {
+            from: at,
+            to: at,
+            depart: SimTime::ZERO,
+            arrive: SimTime::ZERO,
+        }
+    }
+
+    /// A straight constant-speed leg.
+    pub fn moving(from: Vec2, to: Vec2, depart: SimTime, arrive: SimTime) -> Self {
+        LegSample {
+            from,
+            to,
+            depart,
+            arrive,
+        }
+    }
+
+    /// An instantaneous jump: `from` strictly before `at`, `to` at and
+    /// after `at`. Because simulated time has nanosecond granularity, no
+    /// queryable instant falls inside the one-nanosecond "travel"
+    /// window. A jump at time zero has no "before" and degenerates to a
+    /// fixed leg at `to`.
+    pub fn jump(from: Vec2, to: Vec2, at: SimTime) -> Self {
+        if at == SimTime::ZERO {
+            return LegSample::fixed(to);
+        }
+        LegSample {
+            from,
+            to,
+            depart: at - SimDuration::from_nanos(1),
+            arrive: at,
+        }
+    }
+
+    /// Exact position at instant `t`; times outside `[depart, arrive]`
+    /// clamp to the leg's endpoints.
+    pub fn position_at(&self, t: SimTime) -> Vec2 {
+        if t <= self.depart || self.arrive <= self.depart {
+            self.from
+        } else if t >= self.arrive {
+            self.to
+        } else {
+            let num = t.duration_since(self.depart).as_nanos() as f64;
+            let den = self.arrive.duration_since(self.depart).as_nanos() as f64;
+            self.from.lerp(self.to, num / den)
+        }
+    }
+
+    /// `true` if the position never changes over the leg's lifetime.
+    pub fn is_static(&self) -> bool {
+        self.from == self.to || self.arrive <= self.depart
+    }
+}
+
 /// A node's trajectory generator.
 ///
 /// Object-safe so the network engine can mix models in one run.
@@ -132,6 +231,14 @@ pub trait Mobility: std::fmt::Debug + Send {
     /// Advances past the transition due at `now`, drawing any randomness
     /// from `rng`. Calling it early or late is harmless.
     fn transition(&mut self, now: SimTime, rng: &mut SmallRng);
+
+    /// The current leg as an analytic sample.
+    ///
+    /// The sample must agree exactly with [`Mobility::position`] at every
+    /// instant up to (at least) [`Mobility::next_transition`]; models whose
+    /// whole remaining trajectory is linear may return a longer-lived
+    /// sample. The engine re-queries after every transition.
+    fn current_leg(&self) -> LegSample;
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -149,26 +256,32 @@ enum Leg {
 }
 
 impl Leg {
-    fn position(&self, t: SimTime) -> Vec2 {
+    /// The leg as an analytic sample; [`Leg::position`] delegates to
+    /// [`LegSample::position_at`] so the two can never drift apart.
+    fn sample(&self) -> LegSample {
         match *self {
-            Leg::Pausing { at, .. } => at,
+            Leg::Pausing { at, until } => LegSample {
+                from: at,
+                to: at,
+                depart: until,
+                arrive: until,
+            },
             Leg::Moving {
                 from,
                 to,
                 depart,
                 arrive,
-            } => {
-                if t <= depart || arrive <= depart {
-                    from
-                } else if t >= arrive {
-                    to
-                } else {
-                    let num = t.duration_since(depart).as_nanos() as f64;
-                    let den = arrive.duration_since(depart).as_nanos() as f64;
-                    from.lerp(to, num / den)
-                }
-            }
+            } => LegSample {
+                from,
+                to,
+                depart,
+                arrive,
+            },
         }
+    }
+
+    fn position(&self, t: SimTime) -> Vec2 {
+        self.sample().position_at(t)
     }
 
     fn end(&self) -> SimTime {
@@ -266,6 +379,10 @@ impl Mobility for RandomWaypoint {
         self.leg.position(t)
     }
 
+    fn current_leg(&self) -> LegSample {
+        self.leg.sample()
+    }
+
     fn next_transition(&self) -> SimTime {
         self.leg.end()
     }
@@ -355,6 +472,10 @@ impl Mobility for RandomWalk {
         self.leg.position(t)
     }
 
+    fn current_leg(&self) -> LegSample {
+        self.leg.sample()
+    }
+
     fn next_transition(&self) -> SimTime {
         self.leg.end()
     }
@@ -388,6 +509,10 @@ impl Stationary {
 impl Mobility for Stationary {
     fn position(&self, _t: SimTime) -> Vec2 {
         self.at
+    }
+
+    fn current_leg(&self) -> LegSample {
+        LegSample::fixed(self.at)
     }
 
     fn next_transition(&self) -> SimTime {
@@ -560,7 +685,68 @@ mod tests {
         assert!(f.contains(s.position(SimTime::ZERO)));
     }
 
+    #[test]
+    fn leg_sample_fixed_and_jump() {
+        let p = Vec2::new(3.0, 4.0);
+        let fixed = LegSample::fixed(p);
+        assert!(fixed.is_static());
+        assert_eq!(fixed.position_at(SimTime::ZERO), p);
+        assert_eq!(fixed.position_at(SimTime::from_secs(1_000)), p);
+
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(100.0, 0.0);
+        let at = SimTime::from_secs(10);
+        let j = LegSample::jump(a, b, at);
+        assert!(!j.is_static());
+        assert_eq!(j.position_at(at - SimDuration::from_nanos(1)), a);
+        assert_eq!(j.position_at(at), b);
+        assert_eq!(j.position_at(SimTime::from_secs(99)), b);
+
+        // A jump at t=0 has already happened: the node sits at `to`.
+        let j0 = LegSample::jump(a, b, SimTime::ZERO);
+        assert_eq!(j0.position_at(SimTime::ZERO), b);
+        assert_eq!(j0.position_at(SimTime::from_secs(1)), b);
+    }
+
+    #[test]
+    fn stationary_leg_lives_forever() {
+        let s = Stationary::new(Vec2::new(7.0, 8.0));
+        let leg = s.current_leg();
+        assert!(leg.is_static());
+        assert_eq!(leg.position_at(SimTime::MAX), Vec2::new(7.0, 8.0));
+    }
+
     proptest! {
+        /// The cached leg sample agrees *bit-for-bit* with the model's own
+        /// position at every instant up to the next transition — the
+        /// invariant the network engine's position cache relies on.
+        #[test]
+        fn prop_leg_sample_matches_position(seed in 0u64..300) {
+            let f = Field::paper();
+            let mut r = SeedSplitter::new(seed).stream(StreamKind::Mobility, 2);
+            let mut m = RandomWaypoint::new(f, SpeedRange::new(0.0, 8.0), PauseRange::paper(), &mut r);
+            let mut now = SimTime::ZERO;
+            for _ in 0..30 {
+                let leg = m.current_leg();
+                let until = m.next_transition();
+                // Probe inside the leg, at its ends, and beyond.
+                let probes = [
+                    now,
+                    now.saturating_add(SimDuration::from_millis(1)),
+                    until,
+                    until.saturating_add(SimDuration::from_secs(5)),
+                ];
+                for t in probes {
+                    prop_assert_eq!(leg.position_at(t), m.position(t));
+                }
+                if until == SimTime::MAX {
+                    break;
+                }
+                m.transition(until, &mut r);
+                now = until;
+            }
+        }
+
         /// A random-waypoint node is inside the field at *every* queried
         /// instant, across many legs and seeds.
         #[test]

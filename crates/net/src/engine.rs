@@ -3,23 +3,23 @@
 //! [`Engine`] owns the shared wireless channel, every node's MAC, mobility
 //! model and RNG streams, and an upper-layer [`Protocol`] instance per
 //! node. It advances simulated time by draining an [`EventQueue`]; the
-//! four event kinds are protocol timers, MAC backoff attempts,
-//! transmission completions and mobility leg transitions.
+//! five event kinds are protocol timers, MAC backoff attempts,
+//! transmission completions, mobility leg transitions and spatial-index
+//! window refreshes.
 //!
 //! Channel semantics (see crate docs and DESIGN.md §5): unit-disk
 //! audibility at `PhyParams::range_m`, any overlapping audible
 //! transmission corrupts a reception, unicast is ACKed/retried, broadcast
 //! is fire-and-forget.
 
-use std::collections::VecDeque;
-
-use ag_mobility::{Mobility, Vec2};
+use ag_mobility::{LegSample, Mobility, Vec2};
 use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::stats::CounterSet;
 use ag_sim::{EventQueue, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::grid::{AirIndex, NodeGrid, TxShot};
 use crate::mac::{Mac, MacState, OutFrame};
 use crate::{Message, NodeId, PhyParams, Protocol, RxKind, TimerKey};
 
@@ -34,25 +34,69 @@ enum Event {
     TxEnd { tx_id: u64 },
     /// `node`'s mobility model reaches a leg transition.
     Mobility { node: usize },
+    /// `node`'s grid bucketing window expires; slide it forward. `gen`
+    /// detects windows orphaned by a leg change. Touches only the
+    /// spatial index — never RNGs or protocol state — so these events
+    /// cannot perturb the simulation.
+    GridRefresh { node: usize, gen: u64 },
 }
 
-/// A transmission currently in the air.
+/// The sender and payload of a transmission currently in the air; its
+/// timing and geometry live in the [`AirIndex`].
 #[derive(Debug)]
-struct TxRecord<M> {
-    id: u64,
+struct PendingTx<M> {
     sender: usize,
-    start: SimTime,
-    end: SimTime,
-    sender_pos: Vec2,
     frame: OutFrame<M>,
 }
 
-/// A finished transmission kept around for overlap (collision) checks.
-#[derive(Debug, Clone, Copy)]
-struct DoneTx {
-    start: SimTime,
-    end: SimTime,
-    sender_pos: Vec2,
+/// The engine's own hot-path counters, kept as plain fields — a
+/// name-keyed map lookup per transmission is measurable at scale.
+/// [`Engine::counters`] folds them into the public [`CounterSet`]
+/// under their historical names.
+#[derive(Debug, Default, Clone, Copy)]
+struct HotCounters {
+    enqueued: u64,
+    queue_drop: u64,
+    cs_busy: u64,
+    unicast_tx: u64,
+    broadcast_tx: u64,
+    rx_delivered: u64,
+    /// `CounterSet` entries exist once *touched*, even at zero; every
+    /// hot counter but `rx_delivered` is only touched when incremented,
+    /// but `rx_delivered` historically did `add(len)` with possibly-zero
+    /// `len`, so its touched state is tracked separately to keep
+    /// [`Engine::counters`] identical to the pre-refactor engine.
+    rx_delivered_touched: bool,
+    rx_collision: u64,
+    unicast_retry: u64,
+    send_fail: u64,
+    mob_transition: u64,
+}
+
+impl HotCounters {
+    /// Folds the touched counters into `set`, matching the entry-
+    /// existence semantics of the pre-refactor per-call `CounterSet`
+    /// updates.
+    fn fold_into(&self, set: &mut CounterSet) {
+        for (name, v) in [
+            ("mac.enqueued", self.enqueued),
+            ("mac.queue_drop", self.queue_drop),
+            ("mac.cs_busy", self.cs_busy),
+            ("mac.unicast_tx", self.unicast_tx),
+            ("mac.broadcast_tx", self.broadcast_tx),
+            ("mac.rx_collision", self.rx_collision),
+            ("mac.unicast_retry", self.unicast_retry),
+            ("mac.send_fail", self.send_fail),
+            ("mob.transition", self.mob_transition),
+        ] {
+            if v > 0 {
+                set.add(name, v);
+            }
+        }
+        if self.rx_delivered_touched {
+            set.add("mac.rx_delivered", self.rx_delivered);
+        }
+    }
 }
 
 /// Everything in the simulation except the protocol instances.
@@ -65,13 +109,33 @@ struct World<M: Message> {
     phy: PhyParams,
     macs: Vec<Mac<M>>,
     mobility: Vec<Box<dyn Mobility>>,
+    /// Per-node cached trajectory legs, refreshed at mobility
+    /// transitions; every position the engine uses comes from here, so a
+    /// range check never re-enters a boxed mobility model.
+    legs: Vec<LegSample>,
     node_rngs: Vec<SmallRng>,
     mac_rngs: Vec<SmallRng>,
     mobility_rngs: Vec<SmallRng>,
-    live_txs: Vec<TxRecord<M>>,
-    done_txs: VecDeque<DoneTx>,
+    /// Spatial index over nodes; `None` runs the brute-force scans (see
+    /// [`PhyParams::with_spatial_index`]).
+    grid: Option<NodeGrid>,
+    /// Per-node bucketing-window generation; bumped at leg changes so
+    /// stale [`Event::GridRefresh`] events are ignored.
+    grid_gens: Vec<u64>,
+    /// All channel-relevant transmissions (live + recently finished),
+    /// carrying each live transmission's sender and frame.
+    air: AirIndex<PendingTx<M>>,
     next_tx_id: u64,
     counters: CounterSet,
+    hot: HotCounters,
+    /// Reusable candidate buffer for grid queries.
+    scratch: Vec<u16>,
+    /// Reusable receiver buffer (avoids an allocation per `TxEnd`).
+    rx_scratch: Vec<usize>,
+    /// Per-node visit stamps deduplicating grid candidates without a
+    /// sort (a node's leg can span several queried cells).
+    stamps: Vec<u64>,
+    stamp: u64,
 }
 
 impl<M: Message> World<M> {
@@ -80,7 +144,59 @@ impl<M: Message> World<M> {
     }
 
     fn position(&self, node: usize) -> Vec2 {
-        self.mobility[node].position(self.now)
+        self.legs[node].position_at(self.now)
+    }
+
+    /// Re-reads `node`'s current leg into the position cache and
+    /// rebuckets the node in the spatial index.
+    fn refresh_leg(&mut self, node: usize) {
+        self.legs[node] = self.mobility[node].current_leg();
+        self.grid_gens[node] = self.grid_gens[node].wrapping_add(1);
+        self.slide_window(node);
+    }
+
+    /// (Re)buckets `node` for the portion of its leg starting now and
+    /// spanning roughly half a grid cell of travel, and schedules the
+    /// next [`Event::GridRefresh`] if the leg continues past the window.
+    ///
+    /// Invariant: at every processed instant, each node's bucketed
+    /// segment contains its true position — window ends are inclusive
+    /// on both sides, so same-instant event ordering cannot break it.
+    fn slide_window(&mut self, node: usize) {
+        let Some(grid) = &mut self.grid else {
+            return;
+        };
+        let leg = self.legs[node];
+        let now = self.now;
+        if leg.is_static() || now >= leg.arrive {
+            let p = leg.position_at(now);
+            grid.update_segment(node, p, p);
+            return;
+        }
+        let gen = self.grid_gens[node];
+        if now < leg.depart {
+            // Parked at the leg's start until it departs.
+            grid.update_segment(node, leg.from, leg.from);
+            self.queue
+                .schedule(leg.depart, Event::GridRefresh { node, gen });
+            return;
+        }
+        let p0 = leg.position_at(now);
+        // Time to traverse half a cell at the leg's speed (short windows
+        // keep each node in ~1–2 cells, so queries see few duplicate
+        // candidates), floored to keep event counts sane for absurdly
+        // fast movers.
+        let secs_per_cell = leg.arrive.duration_since(leg.depart).as_secs_f64()
+            * (0.5 * self.phy.range_m())
+            / leg.from.distance_to(leg.to);
+        let window = SimDuration::from_secs_f64(secs_per_cell.max(1e-6));
+        let t1 = now.saturating_add(window);
+        if t1 >= leg.arrive {
+            grid.update_segment(node, p0, leg.to);
+        } else {
+            grid.update_segment(node, p0, leg.position_at(t1));
+            self.queue.schedule(t1, Event::GridRefresh { node, gen });
+        }
     }
 
     fn in_range(&self, a: Vec2, b: Vec2) -> bool {
@@ -91,10 +207,10 @@ impl<M: Message> World<M> {
     fn enqueue_frame(&mut self, node: usize, dest: Option<NodeId>, msg: M) {
         let accepted = self.macs[node].enqueue(OutFrame { dest, msg });
         if !accepted {
-            self.counters.incr("mac.queue_drop");
+            self.hot.queue_drop += 1;
             return;
         }
-        self.counters.incr("mac.enqueued");
+        self.hot.enqueued += 1;
         if self.macs[node].state() == MacState::Idle {
             self.arm_attempt(node);
         }
@@ -132,11 +248,7 @@ impl<M: Message> World<M> {
     /// medium stays busy; otherwise `None`.
     fn medium_busy_until(&self, node: usize) -> Option<SimTime> {
         let pos = self.position(node);
-        self.live_txs
-            .iter()
-            .filter(|tx| self.in_range(tx.sender_pos, pos))
-            .map(|tx| tx.end)
-            .max()
+        self.air.busy_until(pos, self.phy.range_m())
     }
 
     /// Handles an armed attempt firing: carrier-sense, then transmit or
@@ -150,7 +262,7 @@ impl<M: Message> World<M> {
             return;
         }
         if let Some(busy_until) = self.medium_busy_until(node) {
-            self.counters.incr("mac.cs_busy");
+            self.hot.cs_busy += 1;
             self.arm_attempt_after(node, busy_until);
             return;
         }
@@ -171,64 +283,94 @@ impl<M: Message> World<M> {
         let id = self.next_tx_id;
         self.next_tx_id += 1;
         let end = self.now + airtime;
-        self.live_txs.push(TxRecord {
+        self.air.insert(
             id,
-            sender: node,
-            start: self.now,
-            end,
-            sender_pos: self.position(node),
-            frame,
-        });
+            TxShot {
+                start: self.now,
+                end,
+                pos: self.position(node),
+            },
+            PendingTx {
+                sender: node,
+                frame,
+            },
+        );
         self.macs[node].set_state(MacState::Transmitting);
-        self.counters.incr(if unicast {
-            "mac.unicast_tx"
+        if unicast {
+            self.hot.unicast_tx += 1;
         } else {
-            "mac.broadcast_tx"
-        });
+            self.hot.broadcast_tx += 1;
+        }
         self.queue.schedule(end, Event::TxEnd { tx_id: id });
     }
 
-    /// All nodes that hear `rec` uncorrupted. Also counts collisions.
+    /// All nodes that hear transmission `id` (described by `shot`, sent
+    /// by `sender`) uncorrupted, in ascending node order. Also counts
+    /// collisions.
     ///
-    /// `rec` must already be removed from `live_txs`.
-    fn uncorrupted_receivers(&mut self, rec: &TxRecord<M>) -> Vec<usize> {
-        let mut out = Vec::new();
-        for r in 0..self.node_count() {
-            if r == rec.sender {
+    /// `id` must already be marked finished in the air index.
+    fn uncorrupted_receivers(&mut self, id: u64, shot: &TxShot, sender: usize) -> Vec<usize> {
+        let mut out = std::mem::take(&mut self.rx_scratch);
+        out.clear();
+        let range = self.phy.range_m();
+        let grid_path = self.grid.is_some();
+        // If no other transmission overlaps this one's airtime window at
+        // all, no receiver anywhere can be corrupted; skip the
+        // per-receiver collision checks wholesale (the common case in
+        // sparse networks). `corrupts` implies `any_overlapping`, so
+        // results are identical. The brute-force baseline runs the
+        // pre-index per-receiver scans unconditionally, as the original
+        // engine did.
+        let contended = !grid_path || self.air.any_overlapping(id, shot.start, shot.end);
+        let mut cands = std::mem::take(&mut self.scratch);
+        cands.clear();
+        if let Some(grid) = &self.grid {
+            grid.query_disk(shot.pos, range, &mut cands);
+            // A node's bucketed leg segment can span several queried
+            // cells; dedupe with visit stamps (cheaper than sorting the
+            // candidate list — only the much smaller receiver list needs
+            // ordering, below).
+            self.stamp += 1;
+        } else {
+            cands.extend(0..self.node_count() as u16);
+        }
+        for &r16 in &cands {
+            let r = r16 as usize;
+            if r == sender {
                 continue;
             }
-            let rpos = self.position(r);
-            if !self.in_range(rec.sender_pos, rpos) {
+            if grid_path {
+                if self.stamps[r] == self.stamp {
+                    continue;
+                }
+                self.stamps[r] = self.stamp;
+            }
+            // The brute-force path reproduces the pre-index engine:
+            // re-enter the boxed mobility model per range check instead
+            // of sampling the cached leg. Bit-identical positions (the
+            // models' own `position` *is* `LegSample::position_at`), so
+            // this is a cost baseline, not a behaviour switch.
+            let rpos = if grid_path {
+                self.position(r)
+            } else {
+                self.mobility[r].position(self.now)
+            };
+            if !self.in_range(shot.pos, rpos) {
                 continue;
             }
-            let corrupted = self.live_txs.iter().filter(|o| o.id != rec.id).any(|o| {
-                o.start < rec.end && rec.start < o.end && self.in_range(o.sender_pos, rpos)
-            }) || self.done_txs.iter().any(|d| {
-                d.start < rec.end && rec.start < d.end && self.in_range(d.sender_pos, rpos)
-            });
-            if corrupted {
-                self.counters.incr("mac.rx_collision");
+            if contended && self.air.corrupts(id, shot.start, shot.end, rpos, range) {
+                self.hot.rx_collision += 1;
             } else {
                 out.push(r);
             }
         }
-        out
-    }
-
-    /// Archives a finished transmission and prunes records that can no
-    /// longer overlap anything live or future.
-    fn archive_tx(&mut self, rec: &TxRecord<M>) {
-        self.done_txs.push_back(DoneTx {
-            start: rec.start,
-            end: rec.end,
-            sender_pos: rec.sender_pos,
-        });
-        match self.live_txs.iter().map(|t| t.start).min() {
-            None => self.done_txs.clear(),
-            Some(min_live_start) => {
-                self.done_txs.retain(|d| d.end > min_live_start);
-            }
+        if grid_path {
+            // Deliver in the same ascending node order as the
+            // brute-force scan.
+            out.sort_unstable();
         }
+        self.scratch = cands;
+        out
     }
 
     /// Completes the head frame (success or final drop) and moves the MAC
@@ -250,10 +392,10 @@ impl<M: Message> World<M> {
     fn unicast_retry_or_fail(&mut self, node: usize) -> Option<OutFrame<M>> {
         self.macs[node].retries += 1;
         if self.macs[node].retries > self.phy.retry_limit() {
-            self.counters.incr("mac.send_fail");
+            self.hot.send_fail += 1;
             Some(self.finish_head_frame(node))
         } else {
-            self.counters.incr("mac.unicast_retry");
+            self.hot.unicast_retry += 1;
             self.macs[node].cw = self.phy.next_cw(self.macs[node].cw);
             self.arm_attempt(node);
             None
@@ -265,7 +407,8 @@ impl<M: Message> World<M> {
     fn handle_mobility(&mut self, node: usize) {
         let now = self.now;
         self.mobility[node].transition(now, &mut self.mobility_rngs[node]);
-        self.counters.incr("mob.transition");
+        self.hot.mob_transition += 1;
+        self.refresh_leg(node);
         self.schedule_mobility(node);
     }
 
@@ -436,6 +579,8 @@ impl<P: Protocol> Engine<P> {
             mobility.push(setup.mobility);
             protocols.push(setup.protocol);
         }
+        let legs: Vec<LegSample> = mobility.iter().map(|m| m.current_leg()).collect();
+        let grid = phy.spatial_index().then(|| NodeGrid::new(phy.range_m(), n));
         let mut world = World {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -443,6 +588,7 @@ impl<P: Protocol> Engine<P> {
                 .map(|_| Mac::new(phy.queue_capacity(), phy.cw_min()))
                 .collect(),
             mobility,
+            legs,
             node_rngs: (0..n)
                 .map(|i| splitter.stream(StreamKind::Node, i as u64))
                 .collect(),
@@ -452,13 +598,20 @@ impl<P: Protocol> Engine<P> {
             mobility_rngs: (0..n)
                 .map(|i| splitter.stream(StreamKind::Mobility, i as u64))
                 .collect(),
-            live_txs: Vec::new(),
-            done_txs: VecDeque::new(),
+            grid,
+            grid_gens: vec![0; n],
+            air: AirIndex::new(phy.range_m(), phy.spatial_index()),
             next_tx_id: 0,
             counters: CounterSet::new(),
+            hot: HotCounters::default(),
+            scratch: Vec::new(),
+            rx_scratch: Vec::new(),
+            stamps: vec![0; n],
+            stamp: 0,
             phy,
         };
         for node in 0..n {
+            world.slide_window(node);
             world.schedule_mobility(node);
         }
         let mut engine = Engine { world, protocols };
@@ -502,18 +655,22 @@ impl<P: Protocol> Engine<P> {
             Event::Mobility { node } => {
                 self.world.handle_mobility(node);
             }
+            Event::GridRefresh { node, gen } => {
+                if self.world.grid_gens[node] == gen {
+                    self.world.slide_window(node);
+                }
+            }
             Event::TxEnd { tx_id } => self.handle_tx_end(tx_id),
         }
     }
 
     fn handle_tx_end(&mut self, tx_id: u64) {
-        let Some(idx) = self.world.live_txs.iter().position(|t| t.id == tx_id) else {
+        let Some((shot, rec)) = self.world.air.finish(tx_id) else {
             debug_assert!(false, "TxEnd for unknown transmission");
             return;
         };
-        let rec = self.world.live_txs.swap_remove(idx);
-        let receivers = self.world.uncorrupted_receivers(&rec);
-        self.world.archive_tx(&rec);
+        let receivers = self.world.uncorrupted_receivers(tx_id, &shot, rec.sender);
+        self.world.air.prune();
         let sender = rec.sender;
         let from = NodeId::new(sender as u16);
         match rec.frame.dest {
@@ -521,10 +678,9 @@ impl<P: Protocol> Engine<P> {
                 // Broadcast: the sender is done with this frame regardless
                 // of who heard it.
                 self.world.finish_head_frame(sender);
-                self.world
-                    .counters
-                    .add("mac.rx_delivered", receivers.len() as u64);
-                for r in receivers {
+                self.world.hot.rx_delivered += receivers.len() as u64;
+                self.world.hot.rx_delivered_touched = true;
+                for &r in &receivers {
                     let mut api = NodeApi {
                         world: &mut self.world,
                         node: r,
@@ -540,7 +696,8 @@ impl<P: Protocol> Engine<P> {
             Some(dest) => {
                 let ok = receivers.contains(&dest.index());
                 if ok {
-                    self.world.counters.incr("mac.rx_delivered");
+                    self.world.hot.rx_delivered += 1;
+                    self.world.hot.rx_delivered_touched = true;
                     self.world.finish_head_frame(sender);
                     let mut api = NodeApi {
                         world: &mut self.world,
@@ -561,6 +718,7 @@ impl<P: Protocol> Engine<P> {
                 }
             }
         }
+        self.world.rx_scratch = receivers;
     }
 
     /// Current simulated time.
@@ -573,10 +731,14 @@ impl<P: Protocol> Engine<P> {
         self.world.node_count()
     }
 
-    /// Engine-global counters (MAC statistics plus anything protocols
-    /// record through [`NodeApi::count`]).
-    pub fn counters(&self) -> &CounterSet {
-        &self.world.counters
+    /// Engine-global counters: MAC statistics plus anything protocols
+    /// record through [`NodeApi::count`]. Assembled on demand — the MAC
+    /// hot path bumps plain fields, not map entries — so this clones;
+    /// call it once and reuse the result when reading many counters.
+    pub fn counters(&self) -> CounterSet {
+        let mut set = self.world.counters.clone();
+        self.world.hot.fold_into(&mut set);
+        set
     }
 
     /// The protocol instance of `node`.

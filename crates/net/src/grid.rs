@@ -1,0 +1,747 @@
+//! Uniform-grid spatial indexes for the network engine's hot path.
+//!
+//! The engine answers two geometric questions constantly:
+//!
+//! 1. *Who can hear a transmission?* — every `TxEnd` needs the set of
+//!    nodes within the unit-disk radius of the sender.
+//! 2. *Is the medium busy / is this reception corrupted?* — every MAC
+//!    attempt and every delivery needs the transmissions audible at a
+//!    point.
+//!
+//! Answering either with a linear scan costs `O(N)` per query, which is
+//! fine at the paper's 40 nodes and hopeless at city scale. This module
+//! provides two uniform hash grids that cut both to `O(local density)`:
+//!
+//! * [`NodeGrid`] indexes **nodes** by the cells their current mobility
+//!   leg can touch.
+//! * [`AirIndex`] owns every transmission record (live and recently
+//!   finished), keyed by id for `O(1)` `TxEnd` lookup, and indexes them
+//!   by the sender's (fixed) cell.
+//!
+//! # Cell sizing
+//!
+//! Both grids use a cell size equal to the radio range `R`. A disk query
+//! of radius `R` then touches at most a 3×3 block of cells (plus a
+//! one-cell fringe for the safety pad below), independent of field size,
+//! while cells stay small enough that candidate lists track local
+//! density rather than global population.
+//!
+//! # Rebucket-on-mobility-event strategy
+//!
+//! Node positions change *continuously* during a movement leg, but the
+//! engine only touches the index at *events*. The grid buckets each
+//! node under every cell a **segment of its current leg** touches
+//! (dilated by a small pad, see below):
+//!
+//! * A pausing (or parked) node covers the single cell of its point.
+//! * A moving node covers the sub-segment it will traverse over the
+//!   next ~half cell of travel; the engine schedules a grid-refresh
+//!   event at the window's end to slide it forward. Random-waypoint
+//!   legs can span the whole field, so bucketing entire legs would put
+//!   most nodes in most query results — the window keeps each node in
+//!   one or two cells at `O(leg length / R)` refresh events per leg,
+//!   the same order as the mobility transitions themselves.
+//!
+//! Rebuckets therefore happen only at mobility events: leg transitions
+//! and the window refreshes derived from them. Grid-refresh events
+//! mutate nothing but the index — no RNG draws, no protocol state — so
+//! enabling the index cannot perturb the simulation. At any instant a
+//! node's true position lies on its bucketed segment, so its true cell
+//! is always one of its bucket cells: queries are *conservative*, and
+//! the engine runs the exact unit-disk distance test on every
+//! candidate — a superset of candidates never changes results, only
+//! costs.
+//!
+//! # Exactness and the safety pad
+//!
+//! Interpolated positions (`from + (to − from)·s`) can land a rounding
+//! error off the ideal segment. Bucketing dilates the segment by
+//! [`GRID_PAD`] (1 µm — about seven orders of magnitude above the worst
+//! interpolation jitter) and disk queries widen their radius by the same
+//! pad, so candidate sets are immune to float fuzz while the exact
+//! distance test keeps delivery and collision outcomes **identical** to
+//! the brute-force scan. That equivalence is enforced two ways: the
+//! brute-force path survives behind
+//! [`PhyParams::with_spatial_index`](crate::PhyParams::with_spatial_index)
+//! `(false)`, and a property test (`tests/differential.rs`) drives both
+//! paths over random scenarios and seeds asserting event-for-event
+//! identical behaviour.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use ag_mobility::Vec2;
+use ag_sim::SimTime;
+
+/// A fast, deterministic hasher for the grid's small integer keys
+/// (cell coordinates, transmission ids), in the spirit of rustc's
+/// FxHash. SipHash's DoS resistance buys nothing here — keys are
+/// engine-generated, not attacker-controlled — and its cost dominated
+/// profile time on the query path. Determinism also means map *state*
+/// is identical across runs (though no engine result depends on
+/// iteration order anyway).
+#[derive(Default)]
+pub(crate) struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// Dilation applied to leg segments when bucketing and to disk queries,
+/// in metres. Must exceed worst-case position interpolation error
+/// (~1e-13 m for kilometre-scale fields) by a wide margin while staying
+/// far below any radio range.
+pub(crate) const GRID_PAD: f64 = 1e-6;
+
+/// Below this many transmissions in the air, [`AirIndex`] answers
+/// queries by scanning all records instead of probing grid cells: a
+/// 3×3-cell probe costs ~9 map lookups, so a linear pass over a handful
+/// of records is cheaper. Purely a cost decision — both paths run the
+/// same exact predicate, so results are identical.
+const AIR_LINEAR_CUTOVER: usize = 24;
+
+/// A cell coordinate (floor of position / cell size, per axis).
+type Cell = (i64, i64);
+
+fn cell_of(p: Vec2, cell: f64) -> Cell {
+    ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+}
+
+/// The inclusive cell range covering the disk of radius `r` around `c`.
+fn disk_cells(c: Vec2, r: f64, cell: f64) -> (Cell, Cell) {
+    let lo = cell_of(Vec2::new(c.x - r, c.y - r), cell);
+    let hi = cell_of(Vec2::new(c.x + r, c.y + r), cell);
+    (lo, hi)
+}
+
+/// `true` if the segment `a`→`b` comes within `pad` of the axis-aligned
+/// cell rectangle `cell_idx` (slab/Liang–Barsky clip against the
+/// pad-dilated rectangle).
+fn segment_touches_cell(a: Vec2, b: Vec2, cell_idx: Cell, cell: f64, pad: f64) -> bool {
+    let min_x = cell_idx.0 as f64 * cell - pad;
+    let max_x = (cell_idx.0 + 1) as f64 * cell + pad;
+    let min_y = cell_idx.1 as f64 * cell - pad;
+    let max_y = (cell_idx.1 + 1) as f64 * cell + pad;
+    let d = b - a;
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    for (p0, dp, lo, hi) in [(a.x, d.x, min_x, max_x), (a.y, d.y, min_y, max_y)] {
+        if dp == 0.0 {
+            if p0 < lo || p0 > hi {
+                return false;
+            }
+        } else {
+            let mut ta = (lo - p0) / dp;
+            let mut tb = (hi - p0) / dp;
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Spatial index over nodes: each node is bucketed under every cell its
+/// current mobility leg can touch, and rebucketed at leg transitions.
+///
+/// Buckets live in a dense row-major array covering the axis-aligned
+/// bounding box of every cell ever touched; a cell lookup is pure index
+/// arithmetic (a hashed lookup per cell dominated query cost in
+/// profiles). Mobility models are field-clamped, so the box converges
+/// to the field's extent after the first few updates; an out-of-bounds
+/// touch triggers a rare O(cells) regrow.
+#[derive(Debug)]
+pub(crate) struct NodeGrid {
+    cell: f64,
+    /// Row-major buckets for the `dims.0 × dims.1` cell box at `origin`.
+    buckets: Vec<Vec<u16>>,
+    origin: Cell,
+    dims: (i64, i64),
+    /// The cells each node currently occupies (for O(own cells) removal).
+    node_cells: Vec<Vec<Cell>>,
+}
+
+impl NodeGrid {
+    /// An empty grid for `n` nodes with `cell`-metre cells (the radio
+    /// range).
+    pub fn new(cell: f64, n: usize) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "invalid grid cell {cell}");
+        NodeGrid {
+            cell,
+            buckets: vec![Vec::new()],
+            origin: (0, 0),
+            dims: (1, 1),
+            node_cells: vec![Vec::new(); n],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, c: Cell) -> Option<usize> {
+        let dx = c.0.wrapping_sub(self.origin.0);
+        let dy = c.1.wrapping_sub(self.origin.1);
+        if dx < 0 || dy < 0 || dx >= self.dims.0 || dy >= self.dims.1 {
+            None
+        } else {
+            Some((dy * self.dims.0 + dx) as usize)
+        }
+    }
+
+    /// Grows the dense box to cover `lo..=hi`, preserving contents.
+    fn grow_to(&mut self, lo: Cell, hi: Cell) {
+        let new_origin = (lo.0.min(self.origin.0), lo.1.min(self.origin.1));
+        let new_max = (
+            hi.0.max(self.origin.0 + self.dims.0 - 1),
+            hi.1.max(self.origin.1 + self.dims.1 - 1),
+        );
+        let new_dims = (new_max.0 - new_origin.0 + 1, new_max.1 - new_origin.1 + 1);
+        let mut buckets = vec![Vec::new(); (new_dims.0 * new_dims.1) as usize];
+        for dy in 0..self.dims.1 {
+            for dx in 0..self.dims.0 {
+                let old = &mut self.buckets[(dy * self.dims.0 + dx) as usize];
+                if !old.is_empty() {
+                    let nx = self.origin.0 + dx - new_origin.0;
+                    let ny = self.origin.1 + dy - new_origin.1;
+                    buckets[(ny * new_dims.0 + nx) as usize] = std::mem::take(old);
+                }
+            }
+        }
+        self.buckets = buckets;
+        self.origin = new_origin;
+        self.dims = new_dims;
+    }
+
+    /// Rebuckets `node` for the trajectory segment `a`→`b` (its next
+    /// bucketing window): removes it from its old cells and inserts it
+    /// under every cell the (pad-dilated) segment touches. Pass `a == b`
+    /// for a parked node.
+    pub fn update_segment(&mut self, node: usize, a: Vec2, b: Vec2) {
+        let mut cells = std::mem::take(&mut self.node_cells[node]);
+        for c in cells.drain(..) {
+            let slot = self.slot(c).expect("occupied cell outside grid box");
+            let v = &mut self.buckets[slot];
+            if let Some(i) = v.iter().position(|&id| id as usize == node) {
+                v.swap_remove(i);
+            }
+        }
+        let lo = cell_of(
+            Vec2::new(a.x.min(b.x) - GRID_PAD, a.y.min(b.y) - GRID_PAD),
+            self.cell,
+        );
+        let hi = cell_of(
+            Vec2::new(a.x.max(b.x) + GRID_PAD, a.y.max(b.y) + GRID_PAD),
+            self.cell,
+        );
+        if self.slot(lo).is_none() || self.slot(hi).is_none() {
+            self.grow_to(lo, hi);
+        }
+        for cx in lo.0..=hi.0 {
+            for cy in lo.1..=hi.1 {
+                if segment_touches_cell(a, b, (cx, cy), self.cell, GRID_PAD) {
+                    let slot = self.slot((cx, cy)).expect("grid box just grown");
+                    self.buckets[slot].push(node as u16);
+                    cells.push((cx, cy));
+                }
+            }
+        }
+        self.node_cells[node] = cells;
+    }
+
+    /// Appends every node bucketed within radius `r` (+pad) of `center`
+    /// to `out`. Candidates may contain duplicates (a leg spans several
+    /// queried cells) and nodes farther than `r`; the caller must dedupe
+    /// and run the exact distance test.
+    pub fn query_disk(&self, center: Vec2, r: f64, out: &mut Vec<u16>) {
+        let (lo, hi) = disk_cells(center, r + GRID_PAD, self.cell);
+        // Clamp to the dense box: cells outside it are empty.
+        let x0 = lo.0.max(self.origin.0);
+        let x1 = hi.0.min(self.origin.0 + self.dims.0 - 1);
+        let y0 = lo.1.max(self.origin.1);
+        let y1 = hi.1.min(self.origin.1 + self.dims.1 - 1);
+        for cy in y0..=y1 {
+            let row = (cy - self.origin.1) * self.dims.0 - self.origin.0;
+            for cx in x0..=x1 {
+                out.extend_from_slice(&self.buckets[(row + cx) as usize]);
+            }
+        }
+    }
+}
+
+/// One transmission's channel-relevant facts: its airtime window and
+/// where the sender stood when it keyed up.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TxShot {
+    /// When the frame hit the air.
+    pub start: SimTime,
+    /// When it leaves the air.
+    pub end: SimTime,
+    /// The sender's position at `start` (unit-disk audibility anchor).
+    pub pos: Vec2,
+}
+
+/// One transmission's record in the air slab: its shot, grid cell and
+/// liveness. Kept small so the linear scans (`any_overlapping`,
+/// `busy_until`, small-count `corrupts`) stride contiguous memory.
+#[derive(Debug, Clone, Copy)]
+struct AirRec {
+    id: u64,
+    shot: TxShot,
+    cell: Cell,
+    /// `true` until the transmission's `TxEnd` is processed; finished
+    /// records stick around only while their airtime window can still
+    /// corrupt an in-flight reception.
+    live: bool,
+}
+
+/// Every transmission currently relevant to the channel: a dense slab
+/// of records (plus each live transmission's sender and frame, held in
+/// a parallel vector so the scan path stays compact) and — when spatial
+/// indexing is on — a cell index over sender positions.
+///
+/// Ids are assigned sequentially by the engine, so lookup by id is O(1)
+/// through a ring of slab slots indexed by `id - first_id`. The slab is
+/// kept tiny by *eager pruning* — after every `TxEnd`, any finished
+/// record whose airtime window ends at or before the earliest start
+/// among still-live transmissions can no longer overlap an in-flight
+/// reception and is dropped; with nothing in the air the slab empties
+/// entirely.
+#[derive(Debug)]
+pub(crate) struct AirIndex<F> {
+    recs: Vec<AirRec>,
+    /// Parallel to `recs`: the sender/frame payload, `None` once
+    /// finished.
+    frames: Vec<Option<F>>,
+    /// `Some` when spatial indexing is enabled. Buckets hold full
+    /// record *copies* (records are immutable apart from the `live`
+    /// flag, which is kept in sync), so dense-regime queries iterate
+    /// bucket entries directly instead of resolving each id against the
+    /// slab — that resolution would cost O(candidates × slab), worse
+    /// than the linear scan the grid is supposed to beat.
+    grid: Option<FastMap<Cell, Vec<AirRec>>>,
+    cell: f64,
+    /// Finished records awaiting pruning.
+    done_count: usize,
+    /// Slab slot of id `first_id + i` at ring position `i`
+    /// ([`NO_SLOT`] once removed); the O(1) id→record key.
+    slot_ring: VecDeque<u32>,
+    /// The id at the ring's front.
+    first_id: u64,
+}
+
+/// Ring marker for an id whose record has been pruned.
+const NO_SLOT: u32 = u32::MAX;
+
+impl<F> AirIndex<F> {
+    /// An empty index; `spatial` selects grid-backed queries, `cell` is
+    /// the radio range.
+    pub fn new(cell: f64, spatial: bool) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "invalid grid cell {cell}");
+        AirIndex {
+            recs: Vec::new(),
+            frames: Vec::new(),
+            grid: spatial.then(FastMap::default),
+            cell,
+            done_count: 0,
+            slot_ring: VecDeque::new(),
+            first_id: 0,
+        }
+    }
+
+    /// Slab index of `id`, or `None` if unknown/pruned.
+    #[inline]
+    fn slot_of(&self, id: u64) -> Option<usize> {
+        let off = usize::try_from(id.checked_sub(self.first_id)?).ok()?;
+        match self.slot_ring.get(off) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Registers a transmission going on the air, carrying its payload.
+    /// Ids must be assigned sequentially (the engine's monotone tx-id
+    /// counter guarantees this).
+    pub fn insert(&mut self, id: u64, shot: TxShot, frame: F) {
+        if self.recs.is_empty() {
+            self.slot_ring.clear();
+            self.first_id = id;
+        }
+        debug_assert_eq!(
+            id,
+            self.first_id + self.slot_ring.len() as u64,
+            "tx ids must be sequential"
+        );
+        self.slot_ring.push_back(self.recs.len() as u32);
+        let cell = cell_of(shot.pos, self.cell);
+        let rec = AirRec {
+            id,
+            shot,
+            cell,
+            live: true,
+        };
+        if let Some(grid) = &mut self.grid {
+            grid.entry(cell).or_default().push(rec);
+        }
+        debug_assert!(!self.recs.iter().any(|r| r.id == id), "duplicate tx id");
+        self.recs.push(rec);
+        self.frames.push(Some(frame));
+    }
+
+    /// Marks `id` as finished (it keeps corrupting overlapping
+    /// receptions until pruned) and returns its shot and payload, or
+    /// `None` if unknown.
+    pub fn finish(&mut self, id: u64) -> Option<(TxShot, F)> {
+        let idx = self.slot_of(id)?;
+        debug_assert!(self.recs[idx].live, "TxEnd for finished transmission");
+        self.recs[idx].live = false;
+        if let Some(grid) = &mut self.grid {
+            let bucket = grid
+                .get_mut(&self.recs[idx].cell)
+                .expect("finished tx missing from its cell bucket");
+            let copy = bucket
+                .iter_mut()
+                .find(|r| r.id == id)
+                .expect("finished tx missing from its cell bucket");
+            copy.live = false;
+        }
+        self.done_count += 1;
+        let frame = self.frames[idx].take().expect("finished tx lost its frame");
+        Some((self.recs[idx].shot, frame))
+    }
+
+    /// The latest time any live transmission audible within `range` of
+    /// `pos` stays on the air, or `None` if the medium is free there.
+    pub fn busy_until(&self, pos: Vec2, range: f64) -> Option<SimTime> {
+        let range_sq = range * range;
+        let mut busy: Option<SimTime> = None;
+        let mut consider = |r: &AirRec| {
+            if r.live && r.shot.pos.distance_sq(pos) <= range_sq {
+                busy = Some(busy.map_or(r.shot.end, |b: SimTime| b.max(r.shot.end)));
+            }
+        };
+        match &self.grid {
+            Some(grid) if self.recs.len() > AIR_LINEAR_CUTOVER => {
+                let (lo, hi) = disk_cells(pos, range + GRID_PAD, self.cell);
+                for cx in lo.0..=hi.0 {
+                    for cy in lo.1..=hi.1 {
+                        for r in grid.get(&(cx, cy)).map_or(&[] as &[AirRec], |v| v) {
+                            consider(r);
+                        }
+                    }
+                }
+            }
+            _ => {
+                for r in &self.recs {
+                    consider(r);
+                }
+            }
+        }
+        busy
+    }
+
+    /// `true` if any transmission other than `exclude` — live or
+    /// finished — overlaps the `[start, end)` airtime window *anywhere*
+    /// (range ignored). When this is false, every receiver of `exclude`
+    /// is uncorrupted and the per-receiver [`AirIndex::corrupts`] calls
+    /// can be skipped wholesale — the common case in sparse networks.
+    pub fn any_overlapping(&self, exclude: u64, start: SimTime, end: SimTime) -> bool {
+        self.recs
+            .iter()
+            .any(|r| r.id != exclude && r.shot.start < end && start < r.shot.end)
+    }
+
+    /// `true` if any transmission other than `exclude` — live or
+    /// finished — overlaps the `[start, end)` airtime window and is
+    /// audible within `range` of `at` (i.e. the reception there is
+    /// corrupted).
+    pub fn corrupts(
+        &self,
+        exclude: u64,
+        start: SimTime,
+        end: SimTime,
+        at: Vec2,
+        range: f64,
+    ) -> bool {
+        let range_sq = range * range;
+        let hit = |r: &AirRec| {
+            r.id != exclude
+                && r.shot.start < end
+                && start < r.shot.end
+                && r.shot.pos.distance_sq(at) <= range_sq
+        };
+        match &self.grid {
+            Some(grid) if self.recs.len() > AIR_LINEAR_CUTOVER => {
+                let (lo, hi) = disk_cells(at, range + GRID_PAD, self.cell);
+                for cx in lo.0..=hi.0 {
+                    for cy in lo.1..=hi.1 {
+                        for r in grid.get(&(cx, cy)).map_or(&[] as &[AirRec], |v| v) {
+                            if hit(r) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            _ => self.recs.iter().any(hit),
+        }
+    }
+
+    /// Eagerly drops finished transmissions whose airtime window can no
+    /// longer overlap any live transmission's reception. O(slab), and
+    /// the slab is small by construction.
+    pub fn prune(&mut self) {
+        if self.done_count == 0 {
+            return;
+        }
+        let min_live_start = self
+            .recs
+            .iter()
+            .filter(|r| r.live)
+            .map(|r| r.shot.start)
+            .min();
+        let mut i = 0;
+        while i < self.recs.len() {
+            let r = self.recs[i];
+            if !r.live && min_live_start.is_none_or(|m| r.shot.end <= m) {
+                self.recs.swap_remove(i);
+                self.frames.swap_remove(i);
+                self.done_count -= 1;
+                self.slot_ring[(r.id - self.first_id) as usize] = NO_SLOT;
+                if i < self.recs.len() {
+                    let moved = self.recs[i].id;
+                    self.slot_ring[(moved - self.first_id) as usize] = i as u32;
+                }
+                while self.slot_ring.front() == Some(&NO_SLOT) {
+                    self.slot_ring.pop_front();
+                    self.first_id += 1;
+                }
+                if let Some(grid) = &mut self.grid {
+                    if let Some(v) = grid.get_mut(&r.cell) {
+                        if let Some(j) = v.iter().position(|x| x.id == r.id) {
+                            v.swap_remove(j);
+                        }
+                        if v.is_empty() {
+                            grid.remove(&r.cell);
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Number of records currently held (live + not-yet-pruned).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ag_sim::SimDuration;
+
+    fn sorted_query(g: &NodeGrid, c: Vec2, r: f64) -> Vec<u16> {
+        let mut out = Vec::new();
+        g.query_disk(c, r, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn point_node_is_found_within_range() {
+        let mut g = NodeGrid::new(75.0, 3);
+        g.update_segment(0, Vec2::new(10.0, 10.0), Vec2::new(10.0, 10.0));
+        g.update_segment(1, Vec2::new(60.0, 10.0), Vec2::new(60.0, 10.0));
+        g.update_segment(2, Vec2::new(500.0, 500.0), Vec2::new(500.0, 500.0));
+        let got = sorted_query(&g, Vec2::new(0.0, 0.0), 75.0);
+        assert!(got.contains(&0));
+        assert!(got.contains(&1));
+        assert!(!got.contains(&2));
+    }
+
+    #[test]
+    fn moving_node_is_found_anywhere_on_its_segment() {
+        let mut g = NodeGrid::new(50.0, 1);
+        // A diagonal window segment; the node must be a candidate near
+        // both ends and in the middle.
+        g.update_segment(0, Vec2::new(0.0, 0.0), Vec2::new(100.0, 100.0));
+        for p in [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(50.0, 50.0),
+            Vec2::new(100.0, 100.0),
+        ] {
+            assert_eq!(sorted_query(&g, p, 50.0), vec![0], "missing at {p:?}");
+        }
+        // ...but not far off the segment's corridor.
+        assert!(sorted_query(&g, Vec2::new(250.0, 0.0), 50.0).is_empty());
+    }
+
+    #[test]
+    fn rebucket_replaces_old_cells() {
+        let mut g = NodeGrid::new(50.0, 1);
+        g.update_segment(0, Vec2::new(10.0, 10.0), Vec2::new(10.0, 10.0));
+        assert_eq!(sorted_query(&g, Vec2::new(0.0, 0.0), 50.0), vec![0]);
+        g.update_segment(0, Vec2::new(1000.0, 1000.0), Vec2::new(1000.0, 1000.0));
+        assert!(sorted_query(&g, Vec2::new(0.0, 0.0), 50.0).is_empty());
+        assert_eq!(sorted_query(&g, Vec2::new(990.0, 990.0), 50.0), vec![0]);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut g = NodeGrid::new(50.0, 1);
+        g.update_segment(0, Vec2::new(-10.0, -10.0), Vec2::new(-10.0, -10.0));
+        assert_eq!(sorted_query(&g, Vec2::new(0.0, 0.0), 50.0), vec![0]);
+    }
+
+    #[test]
+    fn segment_cell_test_matches_geometry() {
+        // Horizontal segment through row 0 only.
+        let a = Vec2::new(5.0, 25.0);
+        let b = Vec2::new(145.0, 25.0);
+        assert!(segment_touches_cell(a, b, (0, 0), 50.0, GRID_PAD));
+        assert!(segment_touches_cell(a, b, (2, 0), 50.0, GRID_PAD));
+        assert!(!segment_touches_cell(a, b, (1, 1), 50.0, GRID_PAD));
+        assert!(!segment_touches_cell(a, b, (3, 0), 50.0, GRID_PAD));
+        // Degenerate (point) segment.
+        let p = Vec2::new(75.0, 75.0);
+        assert!(segment_touches_cell(p, p, (1, 1), 50.0, GRID_PAD));
+        assert!(!segment_touches_cell(p, p, (0, 0), 50.0, GRID_PAD));
+    }
+
+    fn shot(start_s: u64, dur_ms: u64, x: f64) -> TxShot {
+        TxShot {
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(start_s) + SimDuration::from_millis(dur_ms),
+            pos: Vec2::new(x, 0.0),
+        }
+    }
+
+    #[test]
+    fn air_index_busy_and_corruption() {
+        for spatial in [false, true] {
+            let mut air: AirIndex<()> = AirIndex::new(75.0, spatial);
+            air.insert(1, shot(1, 500, 0.0), ());
+            air.insert(2, shot(1, 900, 300.0), ());
+            // Near tx 1: busy until its end.
+            let busy = air.busy_until(Vec2::new(10.0, 0.0), 75.0).unwrap();
+            assert_eq!(busy, SimTime::from_secs(1) + SimDuration::from_millis(500));
+            // Far from both: free.
+            assert!(air.busy_until(Vec2::new(150.0, 0.0), 75.0).is_none());
+            // A reception of tx 1 at a point also hearing tx 2 is corrupted.
+            assert!(air.corrupts(
+                1,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                Vec2::new(300.0, 0.0),
+                75.0
+            ));
+            // ...but not where tx 2 is inaudible.
+            assert!(!air.corrupts(
+                1,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                Vec2::new(10.0, 0.0),
+                75.0
+            ));
+        }
+    }
+
+    #[test]
+    fn dense_air_index_grid_path_matches_linear() {
+        // Enough simultaneous transmissions to cross AIR_LINEAR_CUTOVER,
+        // so the grid branch of busy_until/corrupts actually runs and
+        // must agree with the always-exact linear path — including after
+        // some transmissions finish (bucket copies track liveness).
+        let n = AIR_LINEAR_CUTOVER + 8;
+        let mut spatial: AirIndex<()> = AirIndex::new(75.0, true);
+        let mut linear: AirIndex<()> = AirIndex::new(75.0, false);
+        for i in 0..n as u64 {
+            let s = shot(1 + i % 3, 400, 40.0 * i as f64);
+            spatial.insert(i, s, ());
+            linear.insert(i, s, ());
+        }
+        for i in 0..6 {
+            spatial.finish(i).unwrap();
+            linear.finish(i).unwrap();
+        }
+        for probe in 0..n as u64 {
+            let at = Vec2::new(40.0 * probe as f64, 10.0);
+            assert_eq!(
+                spatial.busy_until(at, 75.0),
+                linear.busy_until(at, 75.0),
+                "busy_until diverged at probe {probe}"
+            );
+            let (start, end) = (SimTime::from_secs(1), SimTime::from_secs(3));
+            assert_eq!(
+                spatial.corrupts(probe, start, end, at, 75.0),
+                linear.corrupts(probe, start, end, at, 75.0),
+                "corrupts diverged at probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_pruning_drops_irrelevant_done_txs() {
+        for spatial in [false, true] {
+            let mut air: AirIndex<()> = AirIndex::new(75.0, spatial);
+            air.insert(1, shot(1, 100, 0.0), ());
+            air.finish(1).unwrap();
+            // Nothing live: the finished record is dropped immediately.
+            air.prune();
+            assert_eq!(air.len(), 0, "spatial={spatial}");
+
+            // A finished tx overlapping a live one must survive the prune…
+            air.insert(2, shot(2, 100, 0.0), ());
+            air.insert(3, shot(2, 400, 10.0), ());
+            air.finish(2).unwrap();
+            air.prune();
+            assert_eq!(air.len(), 2, "spatial={spatial}");
+            // …until the live one finishes too.
+            air.finish(3).unwrap();
+            air.prune();
+            assert_eq!(air.len(), 0, "spatial={spatial}");
+        }
+    }
+}

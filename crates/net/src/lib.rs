@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod grid;
 mod types;
 
 pub mod mac;

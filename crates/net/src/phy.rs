@@ -45,6 +45,11 @@ pub struct PhyParams {
     retry_limit: u32,
     /// MAC transmit-queue capacity (drop-tail beyond this).
     queue_capacity: usize,
+    /// Use the uniform-grid spatial index for receiver and collision
+    /// lookups (`true`, the default) or the brute-force linear scans
+    /// (`false`, kept for differential testing). Both produce identical
+    /// simulations; only the wall-clock cost differs.
+    spatial_index: bool,
 }
 
 impl PhyParams {
@@ -71,6 +76,7 @@ impl PhyParams {
             cw_max: 1023,
             retry_limit: 7,
             queue_capacity: 128,
+            spatial_index: true,
         }
     }
 
@@ -102,6 +108,15 @@ impl PhyParams {
     /// Returns a copy with a different retry limit.
     pub fn with_retry_limit(mut self, limit: u32) -> Self {
         self.retry_limit = limit;
+        self
+    }
+
+    /// Returns a copy selecting the grid-indexed (`true`) or brute-force
+    /// (`false`) receiver/collision lookup path. Results are identical
+    /// either way; the brute-force path exists for differential testing
+    /// and as the baseline of the scaling benchmarks.
+    pub fn with_spatial_index(mut self, enabled: bool) -> Self {
+        self.spatial_index = enabled;
         self
     }
 
@@ -148,6 +163,11 @@ impl PhyParams {
     /// MAC queue capacity.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
+    }
+
+    /// `true` when receiver/collision lookups use the spatial index.
+    pub fn spatial_index(&self) -> bool {
+        self.spatial_index
     }
 
     /// Time the channel is occupied by a data frame with `payload_bytes` of

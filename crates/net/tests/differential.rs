@@ -1,0 +1,247 @@
+//! Differential test: the grid-indexed engine must be *behaviourally
+//! identical* to the brute-force engine — same deliveries, same
+//! failures, same timer firings, same counters — over random scenarios
+//! and seeds. The spatial index is a pure query accelerator; any
+//! divergence here is a bug in the index, not a tuning trade-off.
+
+use ag_mobility::{
+    Field, Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, Vec2,
+};
+use ag_net::{Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, RxKind, TimerKey};
+use ag_sim::rng::{SeedSplitter, StreamKind};
+use ag_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A payload with a configurable wire size (drives airtime and thus
+/// collision windows).
+#[derive(Clone, Debug, PartialEq)]
+struct Blob {
+    tag: u32,
+    size: usize,
+}
+
+impl Message for Blob {
+    fn wire_size(&self) -> usize {
+        self.size
+    }
+}
+
+/// A traffic generator that keeps the channel busy: every `interval`,
+/// each node alternates between broadcasting and unicasting to its ring
+/// neighbour, and logs everything it observes.
+struct Chatter {
+    interval: SimDuration,
+    node_count: u16,
+    payload: usize,
+    sent: u32,
+    received: Vec<(SimTime, NodeId, u32, RxKind)>,
+    failures: Vec<(NodeId, u32)>,
+}
+
+impl Chatter {
+    fn new(interval_ms: u64, node_count: u16, payload: usize) -> Self {
+        Chatter {
+            interval: SimDuration::from_millis(interval_ms),
+            node_count,
+            payload,
+            sent: 0,
+            received: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+}
+
+impl Protocol for Chatter {
+    type Msg = Blob;
+
+    fn start(&mut self, api: &mut NodeApi<'_, Blob>) {
+        // Stagger first transmissions by node id so not everyone keys up
+        // at the same instant.
+        let offset = SimDuration::from_millis(7 * (api.id().raw() as u64 + 1));
+        api.set_timer(offset, 0);
+    }
+
+    fn on_packet(&mut self, api: &mut NodeApi<'_, Blob>, from: NodeId, msg: Blob, rx: RxKind) {
+        self.received.push((api.now(), from, msg.tag, rx));
+    }
+
+    fn on_timer(&mut self, api: &mut NodeApi<'_, Blob>, _key: TimerKey) {
+        self.sent += 1;
+        let tag = api.id().raw() as u32 * 100_000 + self.sent;
+        if self.sent.is_multiple_of(3) && self.node_count > 1 {
+            let dest = NodeId::new((api.id().raw() + 1) % self.node_count);
+            api.send(
+                dest,
+                Blob {
+                    tag,
+                    size: self.payload,
+                },
+            );
+        } else {
+            api.broadcast(Blob {
+                tag,
+                size: self.payload,
+            });
+        }
+        api.set_timer(self.interval, 0);
+    }
+
+    fn on_send_failure(&mut self, _api: &mut NodeApi<'_, Blob>, to: NodeId, msg: Blob) {
+        self.failures.push((to, msg.tag));
+    }
+}
+
+/// Builds one node's mobility model; the mix (waypoint / walk /
+/// stationary) exercises moving-segment, short-epoch and point buckets.
+fn mobility_for(seed: u64, node: usize, field: Field, max_speed: f64) -> Box<dyn Mobility> {
+    let mut rng = SeedSplitter::new(seed).stream(StreamKind::Placement, node as u64);
+    match node % 3 {
+        0 => Box::new(RandomWaypoint::new(
+            field,
+            SpeedRange::new(0.0, max_speed),
+            PauseRange::uniform_secs(0.0, 4.0),
+            &mut rng,
+        )),
+        1 => Box::new(RandomWalk::new(
+            field,
+            SpeedRange::new(0.5, max_speed.max(1.0)),
+            SimDuration::from_secs(3),
+            &mut rng,
+        )),
+        _ => Box::new(Stationary::random(field, &mut rng)),
+    }
+}
+
+type RxLog = Vec<(SimTime, NodeId, u32, RxKind)>;
+type FailLog = Vec<(NodeId, u32)>;
+
+struct Outcome {
+    per_node: Vec<(RxLog, FailLog, u32)>,
+    counters: Vec<(&'static str, u64)>,
+    positions: Vec<Vec2>,
+}
+
+/// One random scenario's knobs.
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    seed: u64,
+    nodes: usize,
+    field_m: f64,
+    range_m: f64,
+    max_speed: f64,
+    payload: usize,
+    sim_secs: u64,
+}
+
+fn run_once(k: Knobs, spatial: bool) -> Outcome {
+    let field = Field::new(k.field_m, k.field_m);
+    let setups = (0..k.nodes)
+        .map(|i| NodeSetup {
+            mobility: mobility_for(k.seed, i, field, k.max_speed),
+            protocol: Chatter::new(40 + 13 * (i as u64 % 5), k.nodes as u16, k.payload),
+        })
+        .collect();
+    let phy = PhyParams::paper_default(k.range_m).with_spatial_index(spatial);
+    let mut engine = Engine::new(phy, k.seed, setups);
+    engine.run_until(SimTime::from_secs(k.sim_secs));
+    Outcome {
+        per_node: engine
+            .protocols()
+            .iter()
+            .map(|p| (p.received.clone(), p.failures.clone(), p.sent))
+            .collect(),
+        counters: engine.counters().iter().collect(),
+        positions: (0..k.nodes)
+            .map(|i| engine.position_of(NodeId::new(i as u16)))
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Grid-indexed and brute-force engines agree event-for-event over
+    /// random node counts, field sizes, ranges, speeds, payloads and
+    /// seeds.
+    #[test]
+    fn grid_path_is_identical_to_brute_force(
+        seed in 0u64..10_000,
+        nodes in 2usize..12,
+        field_m in 80.0f64..600.0,
+        range_m in 30.0f64..120.0,
+        max_speed in 0.2f64..25.0,
+        payload in 32usize..1500,
+    ) {
+        let k = Knobs { seed, nodes, field_m, range_m, max_speed, payload, sim_secs: 12 };
+        let grid = run_once(k, true);
+        let brute = run_once(k, false);
+        prop_assert_eq!(&grid.counters, &brute.counters, "counters diverged");
+        for (i, (g, b)) in grid.per_node.iter().zip(&brute.per_node).enumerate() {
+            prop_assert_eq!(g.2, b.2, "node {} send count diverged", i);
+            prop_assert_eq!(&g.1, &b.1, "node {} failures diverged", i);
+            prop_assert_eq!(&g.0, &b.0, "node {} receptions diverged", i);
+        }
+        prop_assert_eq!(&grid.positions, &brute.positions, "final positions diverged");
+    }
+}
+
+/// A dense, collision-heavy scenario where every broadcast reaches (and
+/// every overlap corrupts) many nodes — worst case for index bookkeeping.
+#[test]
+fn dense_cluster_identical_paths() {
+    let out: Vec<Outcome> = [true, false]
+        .iter()
+        .map(|&sp| {
+            run_once(
+                Knobs {
+                    seed: 99,
+                    nodes: 10,
+                    field_m: 90.0,
+                    range_m: 100.0,
+                    max_speed: 10.0,
+                    payload: 900,
+                    sim_secs: 20,
+                },
+                sp,
+            )
+        })
+        .collect();
+    assert_eq!(out[0].counters, out[1].counters);
+    assert!(
+        out[0]
+            .counters
+            .iter()
+            .any(|&(k, v)| k == "mac.rx_collision" && v > 0),
+        "scenario failed to produce collisions: {:?}",
+        out[0].counters
+    );
+    for (g, b) in out[0].per_node.iter().zip(&out[1].per_node) {
+        assert_eq!(g.0, b.0);
+    }
+}
+
+/// A sparse city-sized scenario where most nodes are out of range of
+/// each other — worst case for missed candidates.
+#[test]
+fn sparse_field_identical_paths() {
+    let out: Vec<Outcome> = [true, false]
+        .iter()
+        .map(|&sp| {
+            run_once(
+                Knobs {
+                    seed: 7,
+                    nodes: 11,
+                    field_m: 1000.0,
+                    range_m: 60.0,
+                    max_speed: 20.0,
+                    payload: 400,
+                    sim_secs: 25,
+                },
+                sp,
+            )
+        })
+        .collect();
+    assert_eq!(out[0].counters, out[1].counters);
+    for (g, b) in out[0].per_node.iter().zip(&out[1].per_node) {
+        assert_eq!(g.0, b.0);
+        assert_eq!(g.1, b.1);
+    }
+}

@@ -286,6 +286,25 @@ impl Histogram {
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         (0..self.bins.len()).map(|i| (self.bin_lo(i), self.bins[i]))
     }
+
+    /// Merges another histogram into this one bin-by-bin, so per-run
+    /// histograms can be combined associatively (like [`Summary::merge`]
+    /// and [`CounterSet::merge`]) regardless of which worker produced
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both histograms share the same range and bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "merging incompatible histograms"
+        );
+        for (b, ob) in self.bins.iter_mut().zip(&other.bins) {
+            *b += ob;
+        }
+        self.total += other.total;
+    }
 }
 
 /// A labelled collection of counters, used for per-run protocol statistics
@@ -426,6 +445,34 @@ mod tests {
     #[should_panic]
     fn histogram_rejects_empty_range() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        let mut b = Histogram::new(0.0, 100.0, 10);
+        let mut whole = Histogram::new(0.0, 100.0, 10);
+        for &x in &[5.0, 15.0, 15.0, 95.0] {
+            a.record(x);
+            whole.record(x);
+        }
+        for &x in &[15.0, 55.0, -3.0] {
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        for i in 0..10 {
+            assert_eq!(a.bin_count(i), whole.bin_count(i), "bin {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        let b = Histogram::new(0.0, 100.0, 5);
+        a.merge(&b);
     }
 
     #[test]
