@@ -11,10 +11,14 @@
 //!    one worker thread and on four. Results are bit-identical (see
 //!    `tests/parallel_determinism.rs`); only wall-clock may differ, and
 //!    by how much depends on the host's core count.
+//! 3. **Stress-knob overhead** — the full gossip stack on the ideal
+//!    channel vs the distance-graded/shadowed/churny ones. The opt-in
+//!    realism must price in as a small constant on the reception path
+//!    (a keyed hash per delivery), not a new scaling regime.
 
 use ag_bench::beacon_engine;
 use ag_harness::experiment::sweep_point_par;
-use ag_harness::{Parallelism, Scenario};
+use ag_harness::{run_gossip, Parallelism, ReceptionModel, Scenario};
 use ag_sim::SimTime;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -52,12 +56,37 @@ fn sweep_parallelism(c: &mut Criterion) {
     }
 }
 
+fn stress_overhead(c: &mut Criterion) {
+    let base = Scenario::paper(20, 75.0, 1.0).with_duration_secs(40);
+    let variants: [(&str, Scenario); 4] = [
+        ("ideal", base.clone()),
+        (
+            "graded_per",
+            base.clone()
+                .with_reception(ReceptionModel::DistanceGraded { edge_per: 0.5 }),
+        ),
+        (
+            "shadowing",
+            base.clone().with_reception(ReceptionModel::Shadowing {
+                sigma_db: 8.0,
+                path_loss_exp: 3.0,
+            }),
+        ),
+        ("churn", base.clone().with_churn(120.0, 15.0)),
+    ];
+    for (label, sc) in &variants {
+        c.bench_function(&format!("gossip_20_nodes_40s_{label}"), |b| {
+            b.iter(|| black_box(run_gossip(sc, 1)));
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(Duration::from_secs(8))
         .warm_up_time(Duration::from_secs(1));
-    targets = engine_scaling, sweep_parallelism
+    targets = engine_scaling, sweep_parallelism, stress_overhead
 }
 criterion_main!(benches);

@@ -16,7 +16,7 @@ use ag_sim::stats::Summary;
 use serde::Serialize;
 
 use crate::parallel::{run_seeds, Parallelism};
-use crate::{run_gossip, run_maodv, Scenario};
+use crate::{run, run_gossip, run_maodv, ProtocolKind, Scenario};
 
 /// One x-position of a figure: pooled receiver summaries for both
 /// protocol series.
@@ -82,6 +82,39 @@ pub fn sweep_point_par(sc: &Scenario, x: f64, seeds: u64, par: Parallelism) -> S
     }
 }
 
+/// Pools *one* protocol's per-receiver delivery counts at one
+/// configuration over `seeds` seeds on `par` worker threads, merging in
+/// seed order (thread-count invariant, like [`sweep_point_par`]).
+/// Returns `(packets sent, pooled receiver summary)`.
+///
+/// [`sweep_point_par`] serves the paper's two-series figures; this is
+/// the building block for single-series sweeps such as the
+/// [`crate::matrix`] stress matrix, where each protocol is its own
+/// axis.
+pub fn protocol_point_par(
+    sc: &Scenario,
+    kind: ProtocolKind,
+    seeds: u64,
+    par: Parallelism,
+) -> (u64, Summary) {
+    let outcomes = run_seeds(seeds, par, |seed| {
+        let r = run(sc, seed, kind);
+        (r.sent, r.received_summary())
+    });
+    let mut pooled = Summary::new();
+    let mut sent = 0;
+    for (s, summary) in &outcomes {
+        pooled.merge(summary);
+        debug_assert!(
+            sent == 0 || sent == *s,
+            "packets-sent varies across seeds ({sent} vs {s}); \
+             delivery percentages would be computed against the wrong total"
+        );
+        sent = *s;
+    }
+    (sent, pooled)
+}
+
 /// Sweeps `xs`, applying `apply(scenario, x)` to a fresh copy of `base`
 /// at each point, with [`Parallelism::auto`]-sized parallelism per
 /// point.
@@ -135,6 +168,18 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].x, 60.0);
         assert_eq!(pts[1].x, 90.0);
+    }
+
+    #[test]
+    fn protocol_point_matches_single_runs() {
+        let sc = Scenario::paper(8, 100.0, 0.2).with_duration_secs(40);
+        let (sent, pooled) = protocol_point_par(&sc, ProtocolKind::Maodv, 2, Parallelism::new(2));
+        let mut expect = Summary::new();
+        for seed in 0..2 {
+            expect.merge(&crate::run_maodv(&sc, seed).received_summary());
+        }
+        assert_eq!(sent, sc.packets_sent());
+        assert_eq!(format!("{pooled:?}"), format!("{expect:?}"));
     }
 
     #[test]

@@ -33,6 +33,12 @@ impl FigureSpec {
         sweep(&self.base, &self.xs, self.apply, seeds)
     }
 
+    /// [`FigureSpec::run`] with an explicit worker-thread count. Output
+    /// is identical for every `par` (seeds merge in seed order).
+    pub fn run_par(&self, seeds: u64, par: Parallelism) -> Vec<SweepPoint> {
+        crate::experiment::sweep_par(&self.base, &self.xs, self.apply, seeds, par)
+    }
+
     /// Rescales the base scenario (for tests/benches).
     pub fn with_duration_secs(mut self, secs: u64) -> Self {
         self.base = self.base.with_duration_secs(secs);

@@ -17,6 +17,11 @@
 //!
 //! * [`parallel`] — the multi-seed worker pool; seeds of a sweep point
 //!   run concurrently and merge deterministically in seed order.
+//! * [`matrix`] — beyond the paper: the cross-protocol stress matrix
+//!   sweeping {gossip, bare MAODV, ODMRP} × {loss model, churn level,
+//!   speed} over the opt-in channel/churn knobs
+//!   ([`Scenario::with_reception`], [`Scenario::with_churn`],
+//!   [`Scenario::lossy`]).
 //!
 //! The `fig2` … `fig8` binaries print each figure's series; environment
 //! variables `AG_SEEDS` (default 10) and `AG_SIM_SECS` (default 600)
@@ -31,9 +36,11 @@ mod scenario;
 
 pub mod experiment;
 pub mod figures;
+pub mod matrix;
 pub mod parallel;
 pub mod report;
 
+pub use ag_net::{ChurnParams, ReceptionModel};
 pub use parallel::Parallelism;
 pub use result::{MemberStats, RunResult};
 pub use scenario::{run, run_gossip, run_maodv, run_odmrp, ProtocolKind, Scenario, GROUP};

@@ -1,9 +1,11 @@
-//! Rendering regenerated figures as ASCII tables and CSV.
+//! Rendering regenerated figures, stress matrices and goldens as ASCII
+//! tables, CSV and exact-bits JSON.
 
 use std::fmt::Write as _;
 
 use crate::experiment::SweepPoint;
 use crate::figures::GoodputSeries;
+use crate::matrix::MatrixReport;
 
 /// Environment knob: seeds per sweep point (`AG_SEEDS`, default 10 —
 /// the paper's count).
@@ -60,6 +62,40 @@ pub fn render_table(title: &str, xlabel: &str, points: &[SweepPoint]) -> String 
     out
 }
 
+/// Renders a line figure as JSON with **exact float bits**: every float
+/// is written with Rust's shortest-roundtrip formatting, so two point
+/// sets render identically iff they are bit-for-bit equal. This is the
+/// format of the committed golden-figure snapshots
+/// (`tests/golden/*.json`), which pin the paper figures against silent
+/// drift from engine refactors.
+pub fn render_json(points: &[SweepPoint]) -> String {
+    fn summary(s: &ag_sim::stats::Summary) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{:?},\"min\":{:?},\"max\":{:?},\"variance\":{:?}}}",
+            s.count(),
+            s.mean(),
+            s.min(),
+            s.max(),
+            s.variance()
+        )
+    }
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"x\":{:?},\"sent\":{},\"maodv\":{},\"gossip\":{},\"goodput\":{}}}{}",
+            p.x,
+            p.sent,
+            summary(&p.maodv),
+            summary(&p.gossip),
+            summary(&p.goodput),
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders a line figure as CSV (one row per x-value).
 pub fn render_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from("x,sent,maodv_mean,maodv_min,maodv_max,maodv_sd,gossip_mean,gossip_min,gossip_max,gossip_sd,goodput_mean\n");
@@ -79,6 +115,47 @@ pub fn render_csv(points: &[SweepPoint]) -> String {
             p.gossip.stddev(),
             p.goodput.mean(),
         );
+    }
+    out
+}
+
+/// Renders a stress-matrix report as a fixed-width comparison table:
+/// one row per (loss, churn, speed) configuration, one column group per
+/// protocol with its mean delivery percentage and min–max packet range
+/// across receivers.
+pub fn render_matrix(report: &MatrixReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Cross-protocol stress matrix (mean delivery % across receivers; [min-max] packets)"
+    );
+    if let Some(c) = report.cells.first() {
+        let _ = writeln!(out, "# packets multicast by the source: {}", c.sent);
+    }
+    let _ = write!(out, "{:>11} {:>11} {:>6}", "loss", "churn", "speed");
+    for p in &report.protocols {
+        let _ = write!(out, " | {:>20}", format!("{p:?}").to_lowercase());
+    }
+    let _ = writeln!(out);
+    let width = 30 + 23 * report.protocols.len();
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for row in report.cells.chunks(report.protocols.len()) {
+        let first = &row[0];
+        let _ = write!(
+            out,
+            "{:>11} {:>11} {:>6.1}",
+            first.loss, first.churn, first.max_speed
+        );
+        for c in row {
+            let _ = write!(
+                out,
+                " | {:>7.1}% [{:>4.0}-{:>4.0}]",
+                c.delivery_percent(),
+                c.received.min(),
+                c.received.max()
+            );
+        }
+        let _ = writeln!(out);
     }
     out
 }
@@ -133,12 +210,60 @@ mod tests {
     }
 
     #[test]
+    fn json_is_exact_and_well_formed() {
+        let j = render_json(&[point(45.0), point(50.0)]);
+        assert!(j.starts_with("[\n"));
+        assert!(j.ends_with("]\n"));
+        assert!(j.contains("\"x\":45.0"));
+        assert!(j.contains("\"mean\":60.0")); // maodv mean, exact bits
+        assert_eq!(j.matches("\"sent\":100").count(), 2);
+        // Identical inputs must render byte-identically.
+        assert_eq!(j, render_json(&[point(45.0), point(50.0)]));
+    }
+
+    #[test]
     fn csv_has_header_and_rows() {
         let c = render_csv(&[point(45.0)]);
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("x,sent,"));
         assert!(lines[1].starts_with("45,100,"));
+    }
+
+    #[test]
+    fn matrix_rendering_groups_rows_by_configuration() {
+        use crate::matrix::{MatrixCell, MatrixReport};
+        use crate::ProtocolKind;
+        let cell = |protocol, loss: &str, received: Summary| MatrixCell {
+            protocol,
+            loss: loss.into(),
+            churn: "none".into(),
+            max_speed: 0.2,
+            sent: 100,
+            received,
+        };
+        let report = MatrixReport {
+            protocols: vec![ProtocolKind::Gossip, ProtocolKind::Maodv],
+            cells: vec![
+                cell(
+                    ProtocolKind::Gossip,
+                    "ideal",
+                    [90.0, 100.0].into_iter().collect(),
+                ),
+                cell(
+                    ProtocolKind::Maodv,
+                    "ideal",
+                    [50.0, 70.0].into_iter().collect(),
+                ),
+            ],
+        };
+        let t = render_matrix(&report);
+        assert!(t.contains("gossip"));
+        assert!(t.contains("maodv"));
+        assert!(t.contains("ideal"));
+        assert!(t.contains("95.0%"), "{t}");
+        assert!(t.contains("60.0%"), "{t}");
+        assert_eq!(t.lines().count(), 5, "{t}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use ag_core::{AgConfig, AnonymousGossip};
 use ag_maodv::{GroupId, MaodvConfig, MaodvProtocol, TrafficSource};
 use ag_mobility::{Field, Mobility, PauseRange, RandomWaypoint, SpeedRange};
-use ag_net::{Engine, NodeId, NodeSetup, PhyParams, Protocol};
+use ag_net::{ChurnParams, Engine, NodeId, NodeSetup, PhyParams, Protocol, ReceptionModel};
 use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::SimTime;
 use rand::Rng;
@@ -62,6 +62,12 @@ pub struct Scenario {
     /// brute-force receiver/collision scans (`false`; differential
     /// testing and scaling baselines only — results are identical).
     pub spatial_index: bool,
+    /// Channel reception model ([`ReceptionModel::Ideal`] — the
+    /// paper's channel — by default; see [`Scenario::with_reception`]).
+    pub reception: ReceptionModel,
+    /// Per-node radio fail/recover churn (`None` — the paper's always-
+    /// on nodes — by default; see [`Scenario::with_churn`]).
+    pub churn: Option<ChurnParams>,
 }
 
 impl Scenario {
@@ -83,7 +89,19 @@ impl Scenario {
             ag: AgConfig::paper_default(),
             maodv: MaodvConfig::paper_default(),
             spatial_index: true,
+            reception: ReceptionModel::Ideal,
+            churn: None,
         }
+    }
+
+    /// The paper's environment on a *lossy* channel: a distance-graded
+    /// packet-error rate reaching `edge_per` at the edge of the
+    /// transmission range. This is the cheapest way to make the network
+    /// hostile — the regime where anonymous gossip's recovery is
+    /// supposed to earn its keep.
+    pub fn lossy(nodes: usize, range_m: f64, max_speed: f64, edge_per: f64) -> Self {
+        Scenario::paper(nodes, range_m, max_speed)
+            .with_reception(ReceptionModel::DistanceGraded { edge_per })
     }
 
     /// A "city-scale" environment far beyond the paper's 40 nodes: a
@@ -109,6 +127,24 @@ impl Scenario {
     /// brute-force (`false`) engine lookup path.
     pub fn with_spatial_index(mut self, enabled: bool) -> Self {
         self.spatial_index = enabled;
+        self
+    }
+
+    /// Returns a copy on a different reception model (the default,
+    /// [`ReceptionModel::Ideal`], reproduces the paper's channel).
+    pub fn with_reception(mut self, model: ReceptionModel) -> Self {
+        self.reception = model;
+        self
+    }
+
+    /// Returns a copy with per-node radio churn: exponential up/down
+    /// periods with the given means in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both means are strictly positive and finite.
+    pub fn with_churn(mut self, mean_up_secs: f64, mean_down_secs: f64) -> Self {
+        self.churn = Some(ChurnParams::new(mean_up_secs, mean_down_secs));
         self
     }
 
@@ -157,7 +193,13 @@ impl Scenario {
     }
 
     fn phy(&self) -> PhyParams {
-        PhyParams::paper_default(self.range_m).with_spatial_index(self.spatial_index)
+        let mut phy = PhyParams::paper_default(self.range_m)
+            .with_spatial_index(self.spatial_index)
+            .with_reception(self.reception);
+        if let Some(churn) = self.churn {
+            phy = phy.with_churn(churn);
+        }
+        phy
     }
 }
 
@@ -355,6 +397,47 @@ mod tests {
         // The source itself always holds everything it sent.
         let src_stats = g.members.iter().find(|s| s.node == g.source).unwrap();
         assert_eq!(src_stats.received, g.sent);
+    }
+
+    #[test]
+    fn paper_scenario_defaults_to_ideal_channel() {
+        let sc = Scenario::paper(10, 75.0, 0.2);
+        assert!(sc.reception.is_ideal());
+        assert!(sc.churn.is_none());
+    }
+
+    #[test]
+    fn lossy_channel_reduces_delivery() {
+        // Identical scenario and seed; a harsh edge PER must not help.
+        let ideal = Scenario::paper(10, 75.0, 0.5).with_duration_secs(60);
+        let lossy = Scenario::lossy(10, 75.0, 0.5, 0.9).with_duration_secs(60);
+        let a = run_gossip(&ideal, 2);
+        let b = run_gossip(&lossy, 2);
+        assert!(
+            b.received_summary().mean() <= a.received_summary().mean(),
+            "lossy {} must not beat ideal {}",
+            b.received_summary().mean(),
+            a.received_summary().mean()
+        );
+        assert!(b.counter("mac.rx_channel_drop") > 0);
+        assert_eq!(a.counter("mac.rx_channel_drop"), 0);
+    }
+
+    #[test]
+    fn churny_scenario_runs_all_three_protocols_deterministically() {
+        let sc = Scenario::paper(9, 90.0, 1.0)
+            .with_duration_secs(50)
+            .with_churn(20.0, 5.0);
+        for kind in [
+            ProtocolKind::Gossip,
+            ProtocolKind::Maodv,
+            ProtocolKind::Odmrp,
+        ] {
+            let a = run(&sc, 4, kind);
+            let b = run(&sc, 4, kind);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{kind:?} diverged");
+            assert!(a.counter("churn.fail") > 0, "{kind:?} never churned");
+        }
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! [`Engine`] owns the shared wireless channel, every node's MAC, mobility
 //! model and RNG streams, and an upper-layer [`Protocol`] instance per
 //! node. It advances simulated time by draining an [`EventQueue`]; the
-//! five event kinds are protocol timers, MAC backoff attempts,
-//! transmission completions, mobility leg transitions and spatial-index
-//! window refreshes.
+//! six event kinds are protocol timers, MAC backoff attempts,
+//! transmission completions, mobility leg transitions, spatial-index
+//! window refreshes, and (when churn is enabled) radio fail/recover
+//! toggles.
 //!
 //! Channel semantics (see crate docs and DESIGN.md §5): unit-disk
 //! audibility at `PhyParams::range_m`, any overlapping audible
@@ -39,6 +40,9 @@ enum Event {
     /// spatial index — never RNGs or protocol state — so these events
     /// cannot perturb the simulation.
     GridRefresh { node: usize, gen: u64 },
+    /// `node`'s radio toggles between up and down (churn; only
+    /// scheduled when [`PhyParams::churn`] is set).
+    Churn { node: usize },
 }
 
 /// The sender and payload of a transmission currently in the air; its
@@ -71,6 +75,13 @@ struct HotCounters {
     unicast_retry: u64,
     send_fail: u64,
     mob_transition: u64,
+    /// In-range, uncollided receptions lost to the (non-ideal)
+    /// reception model.
+    rx_channel_drop: u64,
+    /// Frames discarded because the sender's radio was down.
+    down_drop: u64,
+    churn_fail: u64,
+    churn_recover: u64,
 }
 
 impl HotCounters {
@@ -88,6 +99,10 @@ impl HotCounters {
             ("mac.unicast_retry", self.unicast_retry),
             ("mac.send_fail", self.send_fail),
             ("mob.transition", self.mob_transition),
+            ("mac.rx_channel_drop", self.rx_channel_drop),
+            ("mac.down_drop", self.down_drop),
+            ("churn.fail", self.churn_fail),
+            ("churn.recover", self.churn_recover),
         ] {
             if v > 0 {
                 set.add(name, v);
@@ -116,6 +131,21 @@ struct World<M: Message> {
     node_rngs: Vec<SmallRng>,
     mac_rngs: Vec<SmallRng>,
     mobility_rngs: Vec<SmallRng>,
+    /// Per-node churn interval streams; empty unless churn is enabled.
+    churn_rngs: Vec<SmallRng>,
+    /// `true` while a node's radio is down (churn).
+    down: Vec<bool>,
+    /// When each node's radio last came (back) up. A receiver only
+    /// decodes a frame whose *entire* airtime it was up for, so a node
+    /// that recovers mid-frame cannot deliver it.
+    up_since: Vec<SimTime>,
+    /// The transmission each node currently has on the air, if any;
+    /// cleared when the node fails mid-transmission so the `TxEnd`
+    /// handler can tell a truncated frame from a completed one.
+    tx_of: Vec<Option<u64>>,
+    /// Keyed-hash seed for the (order-independent) reception-model
+    /// decisions.
+    channel_seed: u64,
     /// Spatial index over nodes; `None` runs the brute-force scans (see
     /// [`PhyParams::with_spatial_index`]).
     grid: Option<NodeGrid>,
@@ -166,6 +196,11 @@ impl<M: Message> World<M> {
         let Some(grid) = &mut self.grid else {
             return;
         };
+        if self.down[node] {
+            // A down radio stays detached; recovery rebuckets it.
+            grid.remove_node(node);
+            return;
+        }
         let leg = self.legs[node];
         let now = self.now;
         if leg.is_static() || now >= leg.arrive {
@@ -199,12 +234,14 @@ impl<M: Message> World<M> {
         }
     }
 
-    fn in_range(&self, a: Vec2, b: Vec2) -> bool {
-        a.distance_sq(b) <= self.phy.range_m() * self.phy.range_m()
-    }
-
-    /// Queues a frame and kicks the MAC if it was idle.
+    /// Queues a frame and kicks the MAC if it was idle. Frames from a
+    /// down radio are silently discarded (counted): the hardware is
+    /// off, so there is no carrier feedback to report.
     fn enqueue_frame(&mut self, node: usize, dest: Option<NodeId>, msg: M) {
+        if self.down[node] {
+            self.hot.down_drop += 1;
+            return;
+        }
         let accepted = self.macs[node].enqueue(OutFrame { dest, msg });
         if !accepted {
             self.hot.queue_drop += 1;
@@ -282,6 +319,7 @@ impl<M: Message> World<M> {
         }
         let id = self.next_tx_id;
         self.next_tx_id += 1;
+        self.tx_of[node] = Some(id);
         let end = self.now + airtime;
         self.air.insert(
             id,
@@ -314,6 +352,8 @@ impl<M: Message> World<M> {
         out.clear();
         let range = self.phy.range_m();
         let grid_path = self.grid.is_some();
+        let reception = self.phy.reception();
+        let ideal = reception.is_ideal();
         // If no other transmission overlaps this one's airtime window at
         // all, no receiver anywhere can be corrupted; skip the
         // per-receiver collision checks wholesale (the common case in
@@ -345,6 +385,14 @@ impl<M: Message> World<M> {
                 }
                 self.stamps[r] = self.stamp;
             }
+            // A down radio hears nothing, and a radio that recovered
+            // mid-frame missed the frame's head and cannot decode the
+            // rest. Grid queries never return down nodes (they are
+            // detached), but the brute-force path scans everyone, so
+            // both paths check explicitly.
+            if self.down[r] || self.up_since[r] > shot.start {
+                continue;
+            }
             // The brute-force path reproduces the pre-index engine:
             // re-enter the boxed mobility model per range check instead
             // of sampling the cached leg. Bit-identical positions (the
@@ -355,11 +403,16 @@ impl<M: Message> World<M> {
             } else {
                 self.mobility[r].position(self.now)
             };
-            if !self.in_range(shot.pos, rpos) {
+            let dist_sq = shot.pos.distance_sq(rpos);
+            if dist_sq > range * range {
                 continue;
             }
             if contended && self.air.corrupts(id, shot.start, shot.end, rpos, range) {
                 self.hot.rx_collision += 1;
+            } else if !ideal
+                && !reception.receives(self.channel_seed, id, sender as u16, r16, dist_sq, range)
+            {
+                self.hot.rx_channel_drop += 1;
             } else {
                 out.push(r);
             }
@@ -412,6 +465,57 @@ impl<M: Message> World<M> {
         self.schedule_mobility(node);
     }
 
+    /// Toggles `node`'s radio between up and down and schedules the
+    /// next toggle (exponential durations from the node's churn
+    /// stream). Failing drops all in-flight MAC state — queued frames,
+    /// any armed backoff, a frame mid-air — and detaches the node from
+    /// the spatial index; recovering re-attaches it with a clean MAC.
+    ///
+    /// Returns the queued frames dropped by a failure (empty on
+    /// recovery) so the engine can report the unicasts among them
+    /// through [`Protocol::on_send_failure`] — the stack keeps running
+    /// and deserves to hear that its radio took the queue down with it.
+    fn handle_churn(&mut self, node: usize) -> Vec<OutFrame<M>> {
+        let churn = self.phy.churn().expect("churn event without churn model");
+        if self.down[node] {
+            self.down[node] = false;
+            self.up_since[node] = self.now;
+            self.hot.churn_recover += 1;
+            // Rebucket at the node's current position (mobility kept
+            // advancing while the radio was off).
+            self.grid_gens[node] = self.grid_gens[node].wrapping_add(1);
+            self.slide_window(node);
+            let up = churn.sample_up(&mut self.churn_rngs[node]);
+            self.queue.schedule(self.now + up, Event::Churn { node });
+            Vec::new()
+        } else {
+            self.down[node] = true;
+            self.hot.churn_fail += 1;
+            // Drop in-flight MAC state and invalidate any armed attempt.
+            let mut dropped = Vec::new();
+            while let Some(frame) = self.macs[node].pop_head() {
+                dropped.push(frame);
+            }
+            self.macs[node].retries = 0;
+            self.macs[node].cw = self.phy.cw_min();
+            self.macs[node].bump_attempt_gen();
+            self.macs[node].set_state(MacState::Idle);
+            // A frame mid-air is truncated: disown it so `TxEnd`
+            // delivers it to nobody (it still occupies its airtime
+            // window for interference purposes until pruned).
+            self.tx_of[node] = None;
+            // Detach from the index; stale window refreshes die on the
+            // bumped generation.
+            self.grid_gens[node] = self.grid_gens[node].wrapping_add(1);
+            if let Some(grid) = &mut self.grid {
+                grid.remove_node(node);
+            }
+            let down = churn.sample_down(&mut self.churn_rngs[node]);
+            self.queue.schedule(self.now + down, Event::Churn { node });
+            dropped
+        }
+    }
+
     /// Schedules `node`'s next mobility transition, guarding against
     /// zero-length legs.
     fn schedule_mobility(&mut self, node: usize) {
@@ -460,7 +564,9 @@ impl<'a, M: Message> NodeApi<'a, M> {
 
     /// Queues a unicast frame to `dest` (ACKed; retried up to the retry
     /// limit; [`Protocol::on_send_failure`] fires if it never gets
-    /// through).
+    /// through — including when a radio failure destroys it while
+    /// queued). Exception: a frame sent while this node's own radio is
+    /// already down (churn) is discarded without a callback.
     pub fn send(&mut self, dest: NodeId, msg: M) {
         debug_assert!(
             dest.index() < self.world.node_count(),
@@ -598,6 +704,17 @@ impl<P: Protocol> Engine<P> {
             mobility_rngs: (0..n)
                 .map(|i| splitter.stream(StreamKind::Mobility, i as u64))
                 .collect(),
+            churn_rngs: if phy.churn().is_some() {
+                (0..n)
+                    .map(|i| splitter.stream(StreamKind::Churn, i as u64))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            down: vec![false; n],
+            up_since: vec![SimTime::ZERO; n],
+            tx_of: vec![None; n],
+            channel_seed: splitter.derive(StreamKind::Channel, 0),
             grid,
             grid_gens: vec![0; n],
             air: AirIndex::new(phy.range_m(), phy.spatial_index()),
@@ -613,6 +730,14 @@ impl<P: Protocol> Engine<P> {
         for node in 0..n {
             world.slide_window(node);
             world.schedule_mobility(node);
+        }
+        if let Some(churn) = world.phy.churn() {
+            for node in 0..n {
+                let up = churn.sample_up(&mut world.churn_rngs[node]);
+                world
+                    .queue
+                    .schedule(SimTime::ZERO + up, Event::Churn { node });
+            }
         }
         let mut engine = Engine { world, protocols };
         for node in 0..n {
@@ -660,6 +785,20 @@ impl<P: Protocol> Engine<P> {
                     self.world.slide_window(node);
                 }
             }
+            Event::Churn { node } => {
+                // Unicast frames destroyed by a radio failure are
+                // reported to the (still running) stack, which relies
+                // on send failures as its link-break signal.
+                for frame in self.world.handle_churn(node) {
+                    if let Some(dest) = frame.dest {
+                        let mut api = NodeApi {
+                            world: &mut self.world,
+                            node,
+                        };
+                        self.protocols[node].on_send_failure(&mut api, dest, frame.msg);
+                    }
+                }
+            }
             Event::TxEnd { tx_id } => self.handle_tx_end(tx_id),
         }
     }
@@ -669,6 +808,14 @@ impl<P: Protocol> Engine<P> {
             debug_assert!(false, "TxEnd for unknown transmission");
             return;
         };
+        if self.world.tx_of[rec.sender] != Some(tx_id) {
+            // The sender's radio failed mid-transmission (churn): the
+            // frame was truncated on the air, nobody decodes it, and
+            // the sender's MAC state is long gone.
+            self.world.air.prune();
+            return;
+        }
+        self.world.tx_of[rec.sender] = None;
         let receivers = self.world.uncorrupted_receivers(tx_id, &shot, rec.sender);
         self.world.air.prune();
         let sender = rec.sender;
@@ -767,6 +914,16 @@ impl<P: Protocol> Engine<P> {
     /// Sum of MAC tail drops across all nodes.
     pub fn total_queue_drops(&self) -> u64 {
         self.world.macs.iter().map(|m| m.tail_drops).sum()
+    }
+
+    /// `true` while `node`'s radio is down (churn). Always `false`
+    /// without a churn model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.world.down[node.index()]
     }
 }
 
@@ -1094,6 +1251,204 @@ mod tests {
         // failure instead of silently vanishing.
         assert!(got.contains(&1));
         assert!(got.contains(&2) || failed.contains(&2));
+    }
+
+    #[test]
+    fn graded_loss_drops_some_broadcasts_near_the_edge() {
+        // 200 broadcasts over a 70 m link with a harsh edge PER: some
+        // must get through, some must be lost, and the loss shows up in
+        // the channel-drop counter — never as a collision.
+        let script: Vec<_> = (0..200)
+            .map(|i| {
+                (
+                    SimDuration::from_millis(100 * (i as u64 + 1)),
+                    Action::Broadcast(msg(i)),
+                )
+            })
+            .collect();
+        let nodes = vec![
+            NodeSetup {
+                mobility: stationary(0.0),
+                protocol: Scripted::with_script(script),
+            },
+            NodeSetup {
+                mobility: stationary(70.0),
+                protocol: Scripted::default(),
+            },
+        ];
+        let phy = PhyParams::paper_default(75.0)
+            .with_reception(crate::ReceptionModel::DistanceGraded { edge_per: 0.9 });
+        let mut e = Engine::new(phy, 21, nodes);
+        e.run_until(SimTime::from_secs(30));
+        let got = e.protocol(NodeId::new(1)).received.len() as u64;
+        let dropped = e.counters().get("mac.rx_channel_drop");
+        assert_eq!(got + dropped, 200);
+        assert!(got > 0, "some frames must survive");
+        assert!(dropped > 50, "a 0.9-edge PER at 70/75 m must hurt");
+        assert_eq!(e.counters().get("mac.rx_collision"), 0);
+    }
+
+    #[test]
+    fn shadowing_blocks_obstructed_links_entirely() {
+        // With a static per-link fade, a given link either always works
+        // or always fails at a fixed distance. Sweep several receivers:
+        // each must see all 20 frames or none.
+        let script: Vec<_> = (0..20)
+            .map(|i| {
+                (SimDuration::from_millis(200 * (i as u64 + 1)), {
+                    Action::Broadcast(msg(i))
+                })
+            })
+            .collect();
+        let mut nodes = vec![NodeSetup {
+            mobility: stationary(0.0),
+            protocol: Scripted::with_script(script),
+        }];
+        for r in 1..10u16 {
+            // All at 65 m, just inside the 75 m disk, spread on a ring.
+            let ang = r as f64;
+            nodes.push(NodeSetup {
+                mobility: Box::new(Stationary::new(Vec2::new(
+                    65.0 * ang.cos(),
+                    65.0 * ang.sin(),
+                ))),
+                protocol: Scripted::default(),
+            });
+        }
+        let phy = PhyParams::paper_default(75.0).with_reception(crate::ReceptionModel::Shadowing {
+            sigma_db: 10.0,
+            path_loss_exp: 3.0,
+        });
+        let mut e = Engine::new(phy, 5, nodes);
+        e.run_until(SimTime::from_secs(30));
+        let counts: Vec<usize> = (1..10u16)
+            .map(|r| e.protocol(NodeId::new(r)).received.len())
+            .collect();
+        assert!(
+            counts.iter().all(|&c| c == 0 || c == 20),
+            "static shadowing must be all-or-nothing per link: {counts:?}"
+        );
+        assert!(counts.contains(&20), "{counts:?}");
+        assert!(counts.contains(&0), "{counts:?}");
+    }
+
+    #[test]
+    fn churn_toggles_radios_and_drops_traffic() {
+        // A steady broadcast stream under aggressive churn: the
+        // receiver misses a chunk of frames, fail/recover counters
+        // move, and runs stay deterministic.
+        let script: Vec<_> = (0..300)
+            .map(|i| {
+                (
+                    SimDuration::from_millis(100 * (i as u64 + 1)),
+                    Action::Broadcast(msg(i)),
+                )
+            })
+            .collect();
+        let build = || {
+            let nodes = vec![
+                NodeSetup {
+                    mobility: stationary(0.0),
+                    protocol: Scripted::with_script(script.clone()),
+                },
+                NodeSetup {
+                    mobility: stationary(10.0),
+                    protocol: Scripted::default(),
+                },
+            ];
+            let phy = PhyParams::paper_default(75.0).with_churn(crate::ChurnParams::new(5.0, 5.0));
+            Engine::new(phy, 31, nodes)
+        };
+        let mut e = build();
+        e.run_until(SimTime::from_secs(40));
+        let c = e.counters();
+        assert!(c.get("churn.fail") > 0, "{c}");
+        assert!(c.get("churn.recover") > 0, "{c}");
+        // ~half the time either endpoint is down: substantial loss,
+        // via sender-side drops and/or deaf receiver windows.
+        let got = e.protocol(NodeId::new(1)).received.len();
+        assert!(got < 290, "churn must lose traffic, got {got}");
+        assert!(got > 0, "some frames must land in up-up windows");
+        // Deterministic replay.
+        let mut e2 = build();
+        e2.run_until(SimTime::from_secs(40));
+        assert_eq!(
+            e.protocol(NodeId::new(1)).received,
+            e2.protocol(NodeId::new(1)).received
+        );
+        let ca: Vec<_> = e.counters().iter().collect();
+        let cb: Vec<_> = e2.counters().iter().collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn churn_accounts_for_every_unicast_frame() {
+        // Under churn, every unicast the protocol attempts ends in
+        // exactly one of three ways: delivered to the receiver, a
+        // failure callback (retry exhaustion or queue destroyed by a
+        // radio failure), or discarded because the sender was already
+        // down (counted). Nothing may vanish silently.
+        let script: Vec<_> = (0..100)
+            .map(|i| {
+                (
+                    SimDuration::from_millis(100 * (i as u64 + 1)),
+                    Action::Send(NodeId::new(1), msg(i)),
+                )
+            })
+            .collect();
+        for seed in [1, 7, 42] {
+            let nodes = vec![
+                NodeSetup {
+                    mobility: stationary(0.0),
+                    protocol: Scripted::with_script(script.clone()),
+                },
+                NodeSetup {
+                    mobility: stationary(10.0),
+                    protocol: Scripted::default(),
+                },
+            ];
+            let phy = PhyParams::paper_default(75.0).with_churn(crate::ChurnParams::new(3.0, 2.0));
+            let mut e = Engine::new(phy, seed, nodes);
+            e.run_until(SimTime::from_secs(60));
+            let delivered = e.protocol(NodeId::new(1)).received.len() as u64;
+            let failed = e.protocol(NodeId::new(0)).failures.len() as u64;
+            let down_drops = e.counters().get("mac.down_drop");
+            assert_eq!(
+                delivered + failed + down_drops,
+                100,
+                "seed {seed}: {delivered} delivered + {failed} failed + {down_drops} down-drops"
+            );
+            assert!(failed > 0, "seed {seed}: churn must destroy some frames");
+        }
+    }
+
+    #[test]
+    fn churned_unicast_to_dead_node_reports_failure() {
+        // Receiver mean-up is tiny and mean-down is huge: it dies
+        // almost immediately and stays dead, so the unicast at t=5 s
+        // exhausts its retries.
+        let nodes = vec![
+            NodeSetup {
+                mobility: stationary(0.0),
+                protocol: Scripted::with_script(vec![(
+                    SimDuration::from_secs(5),
+                    Action::Send(NodeId::new(1), msg(3)),
+                )]),
+            },
+            NodeSetup {
+                mobility: stationary(10.0),
+                protocol: Scripted::default(),
+            },
+        ];
+        let phy = PhyParams::paper_default(75.0).with_churn(crate::ChurnParams::new(0.001, 1e6));
+        let mut e = Engine::new(phy, 8, nodes);
+        e.run_until(SimTime::from_secs(20));
+        assert!(e.is_down(NodeId::new(0)));
+        assert!(e.is_down(NodeId::new(1)));
+        // Node 0 was also dead by t=5 s, so its send was dropped at the
+        // (off) radio; nothing was received anywhere.
+        assert_eq!(e.counters().get("mac.down_drop"), 1);
+        assert!(e.protocol(NodeId::new(1)).received.is_empty());
     }
 
     #[test]

@@ -249,11 +249,9 @@ impl NodeGrid {
         self.dims = new_dims;
     }
 
-    /// Rebuckets `node` for the trajectory segment `a`→`b` (its next
-    /// bucketing window): removes it from its old cells and inserts it
-    /// under every cell the (pad-dilated) segment touches. Pass `a == b`
-    /// for a parked node.
-    pub fn update_segment(&mut self, node: usize, a: Vec2, b: Vec2) {
+    /// Removes `node` from every cell it occupies, returning the
+    /// emptied cell list for reuse.
+    fn clear_node(&mut self, node: usize) -> Vec<Cell> {
         let mut cells = std::mem::take(&mut self.node_cells[node]);
         for c in cells.drain(..) {
             let slot = self.slot(c).expect("occupied cell outside grid box");
@@ -262,6 +260,23 @@ impl NodeGrid {
                 v.swap_remove(i);
             }
         }
+        cells
+    }
+
+    /// Detaches `node` from the index entirely (radio churn: a down
+    /// node must not appear in any disk query). Re-attach by calling
+    /// [`NodeGrid::update_segment`] again.
+    pub fn remove_node(&mut self, node: usize) {
+        let cells = self.clear_node(node);
+        self.node_cells[node] = cells;
+    }
+
+    /// Rebuckets `node` for the trajectory segment `a`→`b` (its next
+    /// bucketing window): removes it from its old cells and inserts it
+    /// under every cell the (pad-dilated) segment touches. Pass `a == b`
+    /// for a parked node.
+    pub fn update_segment(&mut self, node: usize, a: Vec2, b: Vec2) {
+        let mut cells = self.clear_node(node);
         let lo = cell_of(
             Vec2::new(a.x.min(b.x) - GRID_PAD, a.y.min(b.y) - GRID_PAD),
             self.cell,
@@ -626,6 +641,19 @@ mod tests {
         g.update_segment(0, Vec2::new(1000.0, 1000.0), Vec2::new(1000.0, 1000.0));
         assert!(sorted_query(&g, Vec2::new(0.0, 0.0), 50.0).is_empty());
         assert_eq!(sorted_query(&g, Vec2::new(990.0, 990.0), 50.0), vec![0]);
+    }
+
+    #[test]
+    fn remove_node_detaches_until_next_update() {
+        let mut g = NodeGrid::new(50.0, 2);
+        g.update_segment(0, Vec2::new(10.0, 10.0), Vec2::new(10.0, 10.0));
+        g.update_segment(1, Vec2::new(20.0, 10.0), Vec2::new(20.0, 10.0));
+        g.remove_node(0);
+        assert_eq!(sorted_query(&g, Vec2::new(0.0, 0.0), 50.0), vec![1]);
+        // Removing twice is a no-op; re-attach restores queries.
+        g.remove_node(0);
+        g.update_segment(0, Vec2::new(10.0, 10.0), Vec2::new(10.0, 10.0));
+        assert_eq!(sorted_query(&g, Vec2::new(0.0, 0.0), 50.0), vec![0, 1]);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod mac;
 pub mod phy;
 
 pub use engine::{Engine, NodeApi, NodeSetup};
-pub use phy::PhyParams;
+pub use phy::{ChurnParams, PhyParams, ReceptionModel};
 pub use types::{Message, NodeId, Protocol, RxKind, TimerKey};

@@ -103,7 +103,9 @@ pub trait Protocol: Sized {
     /// A timer scheduled via [`NodeApi::set_timer`] fired.
     fn on_timer(&mut self, api: &mut NodeApi<'_, Self::Msg>, key: TimerKey);
 
-    /// The MAC exhausted its retry limit unicasting `msg` to `to`.
+    /// A unicast of `msg` to `to` definitively failed: the MAC
+    /// exhausted its retry limit, or a radio failure (churn) destroyed
+    /// the frame while it was queued.
     ///
     /// MAODV uses this as its primary link-break detector.
     fn on_send_failure(&mut self, api: &mut NodeApi<'_, Self::Msg>, to: NodeId, msg: Self::Msg);

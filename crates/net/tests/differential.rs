@@ -7,7 +7,10 @@
 use ag_mobility::{
     Field, Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, Vec2,
 };
-use ag_net::{Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, RxKind, TimerKey};
+use ag_net::{
+    ChurnParams, Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, ReceptionModel,
+    RxKind, TimerKey,
+};
 use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -131,6 +134,23 @@ struct Knobs {
     max_speed: f64,
     payload: usize,
     sim_secs: u64,
+    /// 0 = ideal, 1 = distance-graded PER, 2 = log-normal shadowing.
+    reception_kind: u8,
+    /// Churn (mean up, mean down) in seconds; `None` for no churn.
+    churn_secs: Option<(f64, f64)>,
+}
+
+impl Knobs {
+    fn reception(&self) -> ReceptionModel {
+        match self.reception_kind % 3 {
+            0 => ReceptionModel::Ideal,
+            1 => ReceptionModel::DistanceGraded { edge_per: 0.7 },
+            _ => ReceptionModel::Shadowing {
+                sigma_db: 8.0,
+                path_loss_exp: 3.0,
+            },
+        }
+    }
 }
 
 fn run_once(k: Knobs, spatial: bool) -> Outcome {
@@ -141,7 +161,12 @@ fn run_once(k: Knobs, spatial: bool) -> Outcome {
             protocol: Chatter::new(40 + 13 * (i as u64 % 5), k.nodes as u16, k.payload),
         })
         .collect();
-    let phy = PhyParams::paper_default(k.range_m).with_spatial_index(spatial);
+    let mut phy = PhyParams::paper_default(k.range_m)
+        .with_spatial_index(spatial)
+        .with_reception(k.reception());
+    if let Some((up, down)) = k.churn_secs {
+        phy = phy.with_churn(ChurnParams::new(up, down));
+    }
     let mut engine = Engine::new(phy, k.seed, setups);
     engine.run_until(SimTime::from_secs(k.sim_secs));
     Outcome {
@@ -159,8 +184,10 @@ fn run_once(k: Knobs, spatial: bool) -> Outcome {
 
 proptest! {
     /// Grid-indexed and brute-force engines agree event-for-event over
-    /// random node counts, field sizes, ranges, speeds, payloads and
-    /// seeds.
+    /// random node counts, field sizes, ranges, speeds, payloads,
+    /// seeds, reception models and churn schedules. The stress knobs
+    /// ride the same proptest so the equivalence holds under hostile
+    /// channels, not just the paper's ideal one.
     #[test]
     fn grid_path_is_identical_to_brute_force(
         seed in 0u64..10_000,
@@ -169,8 +196,13 @@ proptest! {
         range_m in 30.0f64..120.0,
         max_speed in 0.2f64..25.0,
         payload in 32usize..1500,
+        reception_kind in 0u8..3,
+        churn in proptest::option::of((2.0f64..20.0, 1.0f64..8.0)),
     ) {
-        let k = Knobs { seed, nodes, field_m, range_m, max_speed, payload, sim_secs: 12 };
+        let k = Knobs {
+            seed, nodes, field_m, range_m, max_speed, payload, sim_secs: 12,
+            reception_kind, churn_secs: churn,
+        };
         let grid = run_once(k, true);
         let brute = run_once(k, false);
         prop_assert_eq!(&grid.counters, &brute.counters, "counters diverged");
@@ -199,6 +231,8 @@ fn dense_cluster_identical_paths() {
                     max_speed: 10.0,
                     payload: 900,
                     sim_secs: 20,
+                    reception_kind: 0,
+                    churn_secs: None,
                 },
                 sp,
             )
@@ -218,6 +252,47 @@ fn dense_cluster_identical_paths() {
     }
 }
 
+/// A fully hostile fixed scenario — shadowed channel *and* aggressive
+/// churn — where the grid's detach/re-attach bookkeeping gets the most
+/// exercise, pinned so it runs on every `cargo test` (the proptest only
+/// samples this corner).
+#[test]
+fn stressed_channel_identical_paths() {
+    let out: Vec<Outcome> = [true, false]
+        .iter()
+        .map(|&sp| {
+            run_once(
+                Knobs {
+                    seed: 1234,
+                    nodes: 9,
+                    field_m: 250.0,
+                    range_m: 90.0,
+                    max_speed: 12.0,
+                    payload: 700,
+                    sim_secs: 25,
+                    reception_kind: 2,
+                    churn_secs: Some((6.0, 3.0)),
+                },
+                sp,
+            )
+        })
+        .collect();
+    assert_eq!(out[0].counters, out[1].counters);
+    assert!(
+        out[0]
+            .counters
+            .iter()
+            .any(|&(k, v)| k == "churn.fail" && v > 0),
+        "scenario failed to churn: {:?}",
+        out[0].counters
+    );
+    for (g, b) in out[0].per_node.iter().zip(&out[1].per_node) {
+        assert_eq!(g.0, b.0);
+        assert_eq!(g.1, b.1);
+    }
+    assert_eq!(out[0].positions, out[1].positions);
+}
+
 /// A sparse city-sized scenario where most nodes are out of range of
 /// each other — worst case for missed candidates.
 #[test]
@@ -234,6 +309,8 @@ fn sparse_field_identical_paths() {
                     max_speed: 20.0,
                     payload: 400,
                     sim_secs: 25,
+                    reception_kind: 0,
+                    churn_secs: None,
                 },
                 sp,
             )

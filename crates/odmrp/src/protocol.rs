@@ -207,6 +207,7 @@ impl Protocol for OdmrpProtocol {
                     self.send_reply(api, source, round);
                 }
                 if ttl > 1 {
+                    api.count("odmrp.query_relayed");
                     self.schedule_relay(
                         api,
                         OdmrpMsg::JoinQuery {

@@ -1,0 +1,120 @@
+//! Property tests for ODMRP's soft-state invariants over random
+//! topologies and traffic loads.
+//!
+//! The unit tests in `protocol.rs` pin hand-built line/diamond
+//! topologies; these properties assert the protocol's *structural*
+//! guarantees on arbitrary node placements:
+//!
+//! * **Join-Query duplicate suppression** — every node relays a given
+//!   `(source, round)` flood at most once and answers it with at most
+//!   one Join-Reply, so flood work is linear in nodes × rounds.
+//! * **Forwarding-group soft-state expiry** — once the source stops
+//!   sending (and therefore stops querying), every forwarding-group
+//!   flag dies within `fg_lifetime` of the last refresh.
+//! * **Delivery sanity** — members deliver each `(source, seq)` at most
+//!   once and never more packets than were sent.
+
+use ag_maodv::{GroupId, TrafficSource};
+use ag_mobility::{Mobility, Stationary, Vec2};
+use ag_net::{Engine, NodeId, NodeSetup, PhyParams};
+use ag_odmrp::{OdmrpConfig, OdmrpProtocol};
+use ag_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Builds a static random topology: node `i` at `positions[i]`, even
+/// indices are members, node 0 is the member source.
+fn build(
+    positions: &[(f64, f64)],
+    range_m: f64,
+    packets: u32,
+    seed: u64,
+) -> (Engine<OdmrpProtocol>, TrafficSource, OdmrpConfig) {
+    let cfg = OdmrpConfig::default_paper();
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(20),
+        SimDuration::from_millis(200),
+        packets,
+        64,
+    );
+    let nodes = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| NodeSetup {
+            mobility: Box::new(Stationary::new(Vec2::new(x, y))) as Box<dyn Mobility>,
+            protocol: OdmrpProtocol::new(
+                cfg,
+                NodeId::new(i as u16),
+                GroupId(0),
+                i % 2 == 0,
+                (i == 0).then_some(traffic),
+            ),
+        })
+        .collect();
+    (
+        Engine::new(PhyParams::paper_default(range_m), seed, nodes),
+        traffic,
+        cfg,
+    )
+}
+
+proptest! {
+    /// Flood work is bounded by the duplicate-suppression caches:
+    /// relays ≤ (nodes − 1) × rounds, replies ≤ nodes × rounds.
+    #[test]
+    fn join_query_flood_is_duplicate_suppressed(
+        positions in prop::collection::vec((0.0f64..300.0, 0.0f64..300.0), 3..9),
+        range_m in 60.0f64..140.0,
+        packets in 5u32..25,
+        seed in 0u64..10_000,
+    ) {
+        let (mut e, traffic, _) = build(&positions, range_m, packets, seed);
+        e.run_until(traffic.end + SimDuration::from_secs(5));
+        let c = e.counters();
+        let n = positions.len() as u64;
+        let rounds = c.get("odmrp.query_originated");
+        prop_assert!(rounds > 0, "source must query");
+        prop_assert!(
+            c.get("odmrp.query_relayed") <= (n - 1) * rounds,
+            "relays {} exceed (n-1)·rounds = {}",
+            c.get("odmrp.query_relayed"),
+            (n - 1) * rounds
+        );
+        prop_assert!(
+            c.get("odmrp.reply_sent") <= n * rounds,
+            "replies {} exceed n·rounds = {}",
+            c.get("odmrp.reply_sent"),
+            n * rounds
+        );
+    }
+
+    /// Soft state dies: with queries stopped, no node is still in the
+    /// forwarding group one `fg_lifetime` (plus propagation slack)
+    /// after the last packet; and delivery logs stay duplicate-free
+    /// and bounded by what was sent.
+    #[test]
+    fn forwarding_group_expires_and_delivery_is_sane(
+        positions in prop::collection::vec((0.0f64..300.0, 0.0f64..300.0), 3..9),
+        range_m in 60.0f64..140.0,
+        packets in 5u32..25,
+        seed in 0u64..10_000,
+    ) {
+        let (mut e, traffic, cfg) = build(&positions, range_m, packets, seed);
+        e.run_until(traffic.end + cfg.fg_lifetime + SimDuration::from_secs(3));
+        let now = e.now();
+        for i in 0..positions.len() as u16 {
+            let p = e.protocol(NodeId::new(i));
+            prop_assert!(
+                !p.in_forwarding_group(now),
+                "node {i} still in forwarding group at {now:?}"
+            );
+            prop_assert_eq!(p.delivery().duplicates(), 0, "node {} re-delivered", i);
+            prop_assert!(
+                p.delivery().distinct() <= packets as u64,
+                "node {} delivered {} of {} sent",
+                i,
+                p.delivery().distinct(),
+                packets
+            );
+        }
+    }
+}

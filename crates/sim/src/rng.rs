@@ -47,6 +47,11 @@ pub enum StreamKind {
     Traffic,
     /// Anything scenario-level (member selection etc.).
     Scenario,
+    /// Channel realism: the keyed hash lattice behind the non-ideal
+    /// reception models (per-packet error draws, per-link shadowing).
+    Channel,
+    /// Per-node radio churn (fail/recover interval draws).
+    Churn,
 }
 
 impl StreamKind {
@@ -58,6 +63,8 @@ impl StreamKind {
             StreamKind::Placement => 0x04,
             StreamKind::Traffic => 0x05,
             StreamKind::Scenario => 0x06,
+            StreamKind::Channel => 0x07,
+            StreamKind::Churn => 0x08,
         }
     }
 }
@@ -138,6 +145,8 @@ mod tests {
             StreamKind::Placement,
             StreamKind::Traffic,
             StreamKind::Scenario,
+            StreamKind::Channel,
+            StreamKind::Churn,
         ] {
             for idx in 0..200 {
                 assert!(

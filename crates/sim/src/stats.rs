@@ -468,6 +468,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_empty_into_empty() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        let b = Histogram::new(0.0, 100.0, 10);
+        a.merge(&b);
+        assert_eq!(a.total(), 0);
+        assert!(a.iter().all(|(_, c)| c == 0));
+    }
+
+    #[test]
+    fn histogram_merge_empty_and_nonempty_both_ways() {
+        // empty ⊕ non-empty: counts adopted wholesale.
+        let mut empty = Histogram::new(0.0, 100.0, 10);
+        let mut full = Histogram::new(0.0, 100.0, 10);
+        full.record(15.0);
+        full.record(95.0);
+        empty.merge(&full);
+        assert_eq!(empty.total(), 2);
+        assert_eq!(empty.bin_count(1), 1);
+        assert_eq!(empty.bin_count(9), 1);
+        // non-empty ⊕ empty: a no-op.
+        let before: Vec<_> = full.iter().collect();
+        full.merge(&Histogram::new(0.0, 100.0, 10));
+        assert_eq!(full.total(), 2);
+        assert_eq!(full.iter().collect::<Vec<_>>(), before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_rejects_mismatched_range() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        let b = Histogram::new(0.0, 50.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
     #[should_panic]
     fn histogram_merge_rejects_mismatched_bins() {
         let mut a = Histogram::new(0.0, 100.0, 10);

@@ -141,9 +141,55 @@ pub mod collection {
     }
 }
 
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident | $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (S0 | 0)
+    (S0 | 0, S1 | 1)
+    (S0 | 0, S1 | 1, S2 | 2)
+    (S0 | 0, S1 | 1, S2 | 2, S3 | 3)
+}
+
+/// Option strategies (mirrors `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `None` half the time and `Some` of the inner
+    /// strategy's value otherwise (the real API's default weighting).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option`s of the inner strategy's values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Mirror of the real crate's `proptest::prelude::prop` re-export path.
 pub mod prop {
-    pub use crate::collection;
+    pub use crate::{collection, option};
 }
 
 /// The glob-import surface tests use (`use proptest::prelude::*`).
@@ -207,6 +253,31 @@ mod tests {
             prop_assert!(!xs.is_empty() && xs.len() < 200);
             prop_assert_eq!(xs.iter().filter(|&&v| v >= 50).count(), 0);
         }
+
+        /// Tuple strategies generate each component from its own
+        /// strategy.
+        #[test]
+        fn tuples_in_bounds(pair in (1u32..5, 10.0f64..20.0)) {
+            prop_assert!((1..5).contains(&pair.0));
+            prop_assert!((10.0..20.0).contains(&pair.1));
+        }
+
+        /// Option strategies produce both variants, `Some` in bounds.
+        #[test]
+        fn options_in_bounds(o in prop::option::of(3u8..9)) {
+            if let Some(v) = o {
+                prop_assert!((3..9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let mut rng = crate::TestRng::from_name("option_mix");
+        let strat = crate::option::of(0u8..2);
+        let draws: Vec<Option<u8>> = (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
     }
 
     #[test]
