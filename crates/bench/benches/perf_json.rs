@@ -1,0 +1,271 @@
+//! Emits the committed perf-trajectory artifact (`BENCH_<pr>.json`).
+//!
+//! Unlike the criterion targets, this is a plain binary (`harness =
+//! false`) that measures a fixed set of legs once, with generous op
+//! counts, and writes a machine-readable JSON file. Environment knobs:
+//!
+//! * `AG_BENCH_OUT` — output path (default `BENCH_new.json`).
+//! * `AG_BENCH_BASELINE` — path to a committed `BENCH_*.json`; when
+//!   set, the run compares itself against it and exits non-zero on a
+//!   >10 % events/second regression in any leg (the CI gate).
+//! * `AG_BENCH_MERGE_BASELINE` — path to a `BENCH_*.json` measured
+//!   under the seed `BinaryHeap` scheduler; matching legs gain
+//!   `baseline_eps`/`speedup` fields (used once, to produce the
+//!   committed artifact's calendar-vs-heap columns).
+//! * `AG_BENCH_QUICK` — any value: shrink op counts ~10× (smoke runs).
+//! * `AG_BENCH_PR` — PR number stamped into the JSON (default 6).
+//!
+//! Determinism: all workloads are pure functions of fixed seeds; only
+//! the wall-clock timings vary between runs.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ag_bench::perf::{compare, extract_metrics, peak_rss_kb, render_json, Leg};
+use ag_bench::{beacon_engine, dense_engine};
+use ag_harness::{run_counting, ChurnParams, ProtocolKind, ReceptionModel, Scenario};
+use ag_sim::reference::BinaryHeapQueue;
+use ag_sim::{EventQueue, SimDuration, SimTime};
+
+/// SplitMix64 step — a self-contained deterministic delay source so
+/// the queue legs don't depend on the sim RNG crate's stream layout.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pending events held by the queue legs. Sized for the dense end of
+/// the roadmap's scenarios (hundreds of nodes × MAC timers, frame
+/// completions and protocol timers each), where the heap's lower tree
+/// levels fall out of cache but the calendar's day buckets stay O(1).
+const PREFILL: usize = 65_536;
+
+/// Hold-pattern workload: `ops` pop-then-reschedule steps over a queue
+/// kept at [`PREFILL`] pending events, with timer-ish delays uniform in
+/// [50 µs, 5 ms) — the MAC-backoff horizon the calendar queue is tuned
+/// for. The macro exists because the calendar queue and the reference
+/// heap share an API but no trait.
+macro_rules! steady_leg {
+    ($mk:expr, $ops:expr) => {{
+        let mut q = $mk;
+        let mut rng = 0xc0ffee_u64;
+        let mut now = SimTime::ZERO;
+        for _ in 0..PREFILL {
+            let d = SimDuration::from_nanos(50_000 + splitmix(&mut rng) % 4_950_000);
+            q.schedule(now + d, 0u32);
+        }
+        let start = Instant::now();
+        for _ in 0..$ops {
+            let (t, _) = q.pop().expect("hold pattern never empties");
+            now = t;
+            let d = SimDuration::from_nanos(50_000 + splitmix(&mut rng) % 4_950_000);
+            q.schedule(now + d, 0u32);
+        }
+        start.elapsed().as_secs_f64()
+    }};
+}
+
+/// Same-instant burst workload: events arrive 64 at a time at one
+/// timestamp (collision re-arms after a busy channel), stressing FIFO
+/// tie discipline and bucket chains.
+macro_rules! ties_leg {
+    ($mk:expr, $ops:expr) => {{
+        let mut q = $mk;
+        let mut rng = 0xbeef_u64;
+        let mut now = SimTime::ZERO;
+        let start = Instant::now();
+        for _ in 0..$ops {
+            if q.len() < PREFILL {
+                let t = now + SimDuration::from_nanos(100_000 + splitmix(&mut rng) % 400_000);
+                for _ in 0..64 {
+                    q.schedule(t, 0u32);
+                }
+            }
+            let (t, _) = q.pop().expect("burst refill keeps queue non-empty");
+            now = t;
+        }
+        start.elapsed().as_secs_f64()
+    }};
+}
+
+/// Fastest of `n` repeats. Wall-clock noise is one-sided (scheduling,
+/// frequency scaling and cache pollution only ever slow a run down), so
+/// the minimum is the best estimator of the code's true cost — and the
+/// one that keeps the 10 % regression gate from flapping.
+fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..n).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn engine_leg(
+    name: &str,
+    repeats: usize,
+    mk: impl Fn() -> ag_net::Engine<ag_bench::Beacon>,
+    sim_secs: u64,
+) -> Leg {
+    let mut events = 0;
+    let secs = best_of(repeats, || {
+        let mut engine = mk();
+        let start = Instant::now();
+        engine.run_until(SimTime::from_secs(sim_secs));
+        let secs = start.elapsed().as_secs_f64();
+        events = engine.events_processed();
+        secs
+    });
+    Leg::new(name, events, secs)
+}
+
+fn stress_matrix_run(sim_secs: u64, seeds: &[u64]) -> (u64, f64) {
+    // The harshest cell family of the stress matrix: log-normal
+    // shadowing, aggressive churn, vehicular speed.
+    let mut sc = Scenario::paper(40, 75.0, 2.0)
+        .with_duration_secs(sim_secs)
+        .with_reception(ReceptionModel::Shadowing {
+            sigma_db: 8.0,
+            path_loss_exp: 3.0,
+        });
+    sc.churn = Some(ChurnParams::new(40.0, 20.0));
+    let mut events = 0u64;
+    let start = Instant::now();
+    for kind in [
+        ProtocolKind::Gossip,
+        ProtocolKind::Maodv,
+        ProtocolKind::Odmrp,
+    ] {
+        for &seed in seeds {
+            events += run_counting(&sc, seed, kind).1;
+        }
+    }
+    (events, start.elapsed().as_secs_f64())
+}
+
+fn stress_matrix_leg(repeats: usize, sim_secs: u64, seeds: &[u64]) -> Leg {
+    let mut events = 0;
+    let secs = best_of(repeats, || {
+        let (ev, secs) = stress_matrix_run(sim_secs, seeds);
+        events = ev;
+        secs
+    });
+    Leg::new("stress_matrix_harsh", events, secs)
+}
+
+fn main() {
+    let quick = std::env::var_os("AG_BENCH_QUICK").is_some();
+    let queue_ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    let engine_secs: u64 = if quick { 5 } else { 120 };
+    let dense_secs: u64 = if quick { 5 } else { 60 };
+    let stress_seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+    let repeats: usize = if quick { 1 } else { 3 };
+    // Queue legs are the cheapest and the most cache/TLB-sensitive;
+    // extra repeats buy the most gate stability per second there.
+    let queue_repeats: usize = if quick { 1 } else { 5 };
+
+    let mut legs = Vec::new();
+
+    eprintln!("measuring queue legs ({queue_ops} ops each, best of {queue_repeats})...");
+    legs.push(Leg::new(
+        "queue_calendar_steady",
+        queue_ops,
+        best_of(queue_repeats, || {
+            steady_leg!(EventQueue::<u32>::new(), queue_ops)
+        }),
+    ));
+    legs.push(Leg::new(
+        "queue_heap_steady",
+        queue_ops,
+        best_of(queue_repeats, || {
+            steady_leg!(BinaryHeapQueue::<u32>::new(), queue_ops)
+        }),
+    ));
+    legs.push(Leg::new(
+        "queue_calendar_dense_ties",
+        queue_ops,
+        best_of(queue_repeats, || {
+            ties_leg!(EventQueue::<u32>::new(), queue_ops)
+        }),
+    ));
+    legs.push(Leg::new(
+        "queue_heap_dense_ties",
+        queue_ops,
+        best_of(queue_repeats, || {
+            ties_leg!(BinaryHeapQueue::<u32>::new(), queue_ops)
+        }),
+    ));
+
+    eprintln!("measuring engine legs (best of {repeats})...");
+    legs.push(engine_leg(
+        "engine_beacon_500_grid",
+        repeats,
+        || beacon_engine(500, 1, true),
+        engine_secs,
+    ));
+    legs.push(engine_leg(
+        "engine_dense_250",
+        repeats,
+        || dense_engine(250, 1),
+        dense_secs,
+    ));
+
+    eprintln!("measuring stress-matrix leg (best of {repeats})...");
+    legs.push(stress_matrix_leg(repeats, engine_secs, stress_seeds));
+
+    let baseline_eps: BTreeMap<String, f64> = match std::env::var("AG_BENCH_MERGE_BASELINE") {
+        Ok(path) => {
+            let path = resolve(&path);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read merge baseline {}: {e}", path.display()));
+            extract_metrics(&text).into_iter().collect()
+        }
+        Err(_) => BTreeMap::new(),
+    };
+
+    let pr: u32 = std::env::var("AG_BENCH_PR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let json = render_json(pr, &legs, &baseline_eps, peak_rss_kb());
+
+    for leg in &legs {
+        eprintln!(
+            "  {:<28} {:>12.0} ev/s  {:>8.1} ns/ev",
+            leg.name,
+            leg.events_per_sec(),
+            leg.ns_per_event()
+        );
+    }
+
+    let out = resolve(&std::env::var("AG_BENCH_OUT").unwrap_or_else(|_| "BENCH_new.json".into()));
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    eprintln!("wrote {}", out.display());
+
+    if let Ok(baseline_path) = std::env::var("AG_BENCH_BASELINE") {
+        let baseline_path = resolve(&baseline_path);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", baseline_path.display()));
+        match compare(&baseline, &json, 0.10) {
+            Ok(report) => eprint!("{report}"),
+            Err(report) => {
+                eprint!("{report}");
+                eprintln!("perf regression vs {} (>10% drop)", baseline_path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Resolves a path from the environment against the *workspace* root.
+/// Cargo runs bench binaries with cwd = the package dir
+/// (`crates/bench`), but callers — the CI gate above all — pass paths
+/// like `BENCH_6.json` relative to the repo root.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}

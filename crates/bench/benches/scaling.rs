@@ -15,11 +15,20 @@
 //!    channel vs the distance-graded/shadowed/churny ones. The opt-in
 //!    realism must price in as a small constant on the reception path
 //!    (a keyed hash per delivery), not a new scaling regime.
+//! 4. **Scheduler scaling** — the calendar queue vs the seed
+//!    `BinaryHeap` (preserved as `ag_sim::reference::BinaryHeapQueue`)
+//!    on a hold-pattern timer workload at growing pending-set sizes.
+//!    The heap pays `O(log n)` per op, the calendar queue `O(1)`
+//!    amortized; the gap must *widen* with the pending count. The
+//!    committed numbers live in `BENCH_<pr>.json` (see the `perf_json`
+//!    bench target and `docs/BENCHMARKS.md`); this group is for
+//!    interactive exploration of the same comparison.
 
 use ag_bench::beacon_engine;
 use ag_harness::experiment::sweep_point_par;
 use ag_harness::{run_gossip, Parallelism, ReceptionModel, Scenario};
-use ag_sim::SimTime;
+use ag_sim::reference::BinaryHeapQueue;
+use ag_sim::{EventQueue, SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -81,12 +90,51 @@ fn stress_overhead(c: &mut Criterion) {
     }
 }
 
+/// One deterministic hold-pattern pass: keep `pending` events queued,
+/// pop-and-reschedule `ops` times with timer-ish delays. Macro because
+/// the two queues share an API but no trait.
+macro_rules! hold_pattern {
+    ($mk:expr, $pending:expr, $ops:expr) => {{
+        let mut q = $mk;
+        let mut state = 0x5eed_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            SimDuration::from_nanos(50_000 + (z ^ (z >> 31)) % 4_950_000)
+        };
+        let mut now = SimTime::ZERO;
+        for _ in 0..$pending {
+            q.schedule(now + next(), 0u32);
+        }
+        for _ in 0..$ops {
+            let (t, _) = q.pop().unwrap();
+            now = t;
+            q.schedule(now + next(), 0u32);
+        }
+        black_box(q.len())
+    }};
+}
+
+fn queue_scaling(c: &mut Criterion) {
+    for &pending in &[1024usize, 16_384, 131_072] {
+        let ops = 100_000u64;
+        c.bench_function(&format!("queue_calendar_hold_{pending}"), |b| {
+            b.iter(|| hold_pattern!(EventQueue::<u32>::new(), pending, ops));
+        });
+        c.bench_function(&format!("queue_heap_hold_{pending}"), |b| {
+            b.iter(|| hold_pattern!(BinaryHeapQueue::<u32>::new(), pending, ops));
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(Duration::from_secs(8))
         .warm_up_time(Duration::from_secs(1));
-    targets = engine_scaling, sweep_parallelism, stress_overhead
+    targets = engine_scaling, sweep_parallelism, stress_overhead, queue_scaling
 }
 criterion_main!(benches);

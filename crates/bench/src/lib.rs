@@ -17,6 +17,8 @@ use ag_net::{Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, R
 use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::SimDuration;
 
+pub mod perf;
+
 /// Seconds of simulated time per benchmark run.
 pub const BENCH_SECS: u64 = 60;
 
@@ -118,6 +120,41 @@ pub fn beacon_engine(n: usize, seed: u64, spatial: bool) -> Engine<Beacon> {
     )
 }
 
+/// A contention-heavy beaconing network: `n` random-waypoint nodes
+/// packed to a mean degree of ≈12 (versus [`beacon_engine`]'s ≈2),
+/// beaconing at 10 Hz. Most transmissions now reach many receivers and
+/// collide with each other, so the run is dominated by short-horizon
+/// MAC timers — backoff re-arms, deferred attempts, busy-channel
+/// retries. That is exactly the event mix the calendar queue's dense
+/// day buckets are tuned for, which makes this the scheduler stress
+/// workload of `BENCH_<pr>.json`.
+pub fn dense_engine(n: usize, seed: u64) -> Engine<Beacon> {
+    let range = 100.0;
+    // Mean degree ≈ n·π·range²/side² ≈ 12.
+    let side = (n as f64 * std::f64::consts::PI * range * range / 12.0).sqrt();
+    let field = Field::new(side, side);
+    let splitter = SeedSplitter::new(seed);
+    let nodes = (0..n)
+        .map(|i| {
+            let mut rng = splitter.stream(StreamKind::Placement, i as u64);
+            NodeSetup {
+                mobility: Box::new(RandomWaypoint::new(
+                    field,
+                    SpeedRange::new(1.0, 10.0),
+                    PauseRange::uniform_secs(0.0, 5.0),
+                    &mut rng,
+                )) as Box<dyn Mobility>,
+                protocol: Beacon::new(SimDuration::from_millis(100)),
+            }
+        })
+        .collect();
+    Engine::new(
+        PhyParams::paper_default(range).with_spatial_index(true),
+        seed,
+        nodes,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +179,18 @@ mod tests {
         let cg: Vec<_> = grid.counters().iter().collect();
         let cb: Vec<_> = brute.counters().iter().collect();
         assert_eq!(cg, cb);
+    }
+
+    #[test]
+    fn dense_engine_is_contention_heavy() {
+        let mut dense = dense_engine(30, 5);
+        dense.run_until(SimTime::from_secs(5));
+        let heard: u64 = dense.protocols().iter().map(|p| p.heard).sum();
+        assert!(heard > 0, "beacons should be heard");
+        // Denser field + faster beacons → more kernel events than the
+        // sparse scaling workload over the same simulated span.
+        let mut sparse = beacon_engine(30, 5, true);
+        sparse.run_until(SimTime::from_secs(5));
+        assert!(dense.events_processed() > sparse.events_processed());
     }
 }

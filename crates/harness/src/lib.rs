@@ -41,6 +41,9 @@ pub mod parallel;
 pub mod report;
 
 pub use ag_net::{ChurnParams, ReceptionModel};
-pub use parallel::Parallelism;
+pub use parallel::{run_seeds, Parallelism};
 pub use result::{MemberStats, RunResult};
-pub use scenario::{run, run_gossip, run_maodv, run_odmrp, ProtocolKind, Scenario, GROUP};
+pub use scenario::{
+    run, run_counting, run_gossip, run_gossip_counting, run_maodv, run_maodv_counting, run_odmrp,
+    run_odmrp_counting, ProtocolKind, Scenario, GROUP,
+};

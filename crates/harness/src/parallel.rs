@@ -83,6 +83,20 @@ fn parse_threads(v: &str) -> Option<usize> {
 /// Seeds are handed out through a shared atomic counter (dynamic load
 /// balancing — seeds vary a lot in wall-clock cost), but the output
 /// order is fixed, so folds over the returned vector are deterministic.
+///
+/// # Example
+///
+/// ```
+/// use ag_harness::{run_seeds, Parallelism};
+///
+/// // Four workers, results still indexed by seed.
+/// let squares = run_seeds(8, Parallelism::new(4), |seed| seed * seed);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+///
+/// // Identical to the serial loop, whatever the pool size.
+/// let serial = run_seeds(8, Parallelism::serial(), |seed| seed * seed);
+/// assert_eq!(squares, serial);
+/// ```
 pub fn run_seeds<T, F>(seeds: u64, par: Parallelism, job: F) -> Vec<T>
 where
     T: Send,

@@ -230,10 +230,18 @@ where
 /// Runs the gossip stack (MAODV + AG) once. Deterministic in
 /// `(scenario, seed)`.
 pub fn run_gossip(sc: &Scenario, seed: u64) -> RunResult {
+    run_gossip_counting(sc, seed).0
+}
+
+/// [`run_gossip`], also reporting the kernel events the engine
+/// dispatched (the `BENCH_<pr>.json` events/second numerator). The
+/// [`RunResult`] is identical to [`run_gossip`]'s.
+pub fn run_gossip_counting(sc: &Scenario, seed: u64) -> (RunResult, u64) {
     let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
         AnonymousGossip::new(sc.ag, sc.maodv, id, GROUP, member, traffic)
     });
     engine.run_until(sc.sim_time);
+    let events = engine.events_processed();
     let member_stats = members
         .iter()
         .map(|&m| {
@@ -248,7 +256,7 @@ pub fn run_gossip(sc: &Scenario, seed: u64) -> RunResult {
             }
         })
         .collect();
-    RunResult {
+    let result = RunResult {
         protocol: ProtocolKind::Gossip,
         seed,
         source,
@@ -259,16 +267,24 @@ pub fn run_gossip(sc: &Scenario, seed: u64) -> RunResult {
             .iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
-    }
+    };
+    (result, events)
 }
 
 /// Runs the bare-MAODV baseline once. Deterministic in
 /// `(scenario, seed)`.
 pub fn run_maodv(sc: &Scenario, seed: u64) -> RunResult {
+    run_maodv_counting(sc, seed).0
+}
+
+/// [`run_maodv`], also reporting the kernel events the engine
+/// dispatched. The [`RunResult`] is identical to [`run_maodv`]'s.
+pub fn run_maodv_counting(sc: &Scenario, seed: u64) -> (RunResult, u64) {
     let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
         MaodvProtocol::new(sc.maodv, id, GROUP, member, traffic)
     });
     engine.run_until(sc.sim_time);
+    let events = engine.events_processed();
     let member_stats = members
         .iter()
         .map(|&m| {
@@ -283,7 +299,7 @@ pub fn run_maodv(sc: &Scenario, seed: u64) -> RunResult {
             }
         })
         .collect();
-    RunResult {
+    let result = RunResult {
         protocol: ProtocolKind::Maodv,
         seed,
         source,
@@ -294,12 +310,19 @@ pub fn run_maodv(sc: &Scenario, seed: u64) -> RunResult {
             .iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
-    }
+    };
+    (result, events)
 }
 
 /// Runs the bare-ODMRP mesh baseline once (the related-work comparison
 /// point of the paper's §2). Deterministic in `(scenario, seed)`.
 pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
+    run_odmrp_counting(sc, seed).0
+}
+
+/// [`run_odmrp`], also reporting the kernel events the engine
+/// dispatched. The [`RunResult`] is identical to [`run_odmrp`]'s.
+pub fn run_odmrp_counting(sc: &Scenario, seed: u64) -> (RunResult, u64) {
     let (mut engine, members, source) = build_engine(sc, seed, |id, member, traffic| {
         ag_odmrp::OdmrpProtocol::new(
             ag_odmrp::OdmrpConfig::default_paper(),
@@ -310,6 +333,7 @@ pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
         )
     });
     engine.run_until(sc.sim_time);
+    let events = engine.events_processed();
     let member_stats = members
         .iter()
         .map(|&m| {
@@ -324,7 +348,7 @@ pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
             }
         })
         .collect();
-    RunResult {
+    let result = RunResult {
         protocol: ProtocolKind::Odmrp,
         seed,
         source,
@@ -335,7 +359,8 @@ pub fn run_odmrp(sc: &Scenario, seed: u64) -> RunResult {
             .iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
-    }
+    };
+    (result, events)
 }
 
 /// Runs the requested protocol stack once.
@@ -344,6 +369,17 @@ pub fn run(sc: &Scenario, seed: u64, kind: ProtocolKind) -> RunResult {
         ProtocolKind::Maodv => run_maodv(sc, seed),
         ProtocolKind::Gossip => run_gossip(sc, seed),
         ProtocolKind::Odmrp => run_odmrp(sc, seed),
+    }
+}
+
+/// [`run`], also reporting the kernel events the engine dispatched —
+/// the benchmark harness uses this to turn stress-matrix cells into
+/// events/second legs in `BENCH_<pr>.json`.
+pub fn run_counting(sc: &Scenario, seed: u64, kind: ProtocolKind) -> (RunResult, u64) {
+    match kind {
+        ProtocolKind::Maodv => run_maodv_counting(sc, seed),
+        ProtocolKind::Gossip => run_gossip_counting(sc, seed),
+        ProtocolKind::Odmrp => run_odmrp_counting(sc, seed),
     }
 }
 

@@ -2,11 +2,14 @@
 //!
 //! [`Engine`] owns the shared wireless channel, every node's MAC, mobility
 //! model and RNG streams, and an upper-layer [`Protocol`] instance per
-//! node. It advances simulated time by draining an [`EventQueue`]; the
-//! six event kinds are protocol timers, MAC backoff attempts,
-//! transmission completions, mobility leg transitions, spatial-index
-//! window refreshes, and (when churn is enabled) radio fail/recover
-//! toggles.
+//! node. It advances simulated time by draining an [`EventQueue`] (the
+//! calendar-queue scheduler in `ag-sim`); the six event kinds are
+//! protocol timers, MAC backoff attempts, transmission completions,
+//! mobility leg transitions, spatial-index window refreshes, and (when
+//! churn is enabled) radio fail/recover toggles. Cancellable events
+//! (`MacAttempt`, `GridRefresh`) carry a generation token and are
+//! dropped at dispatch when stale — the queue itself never needs a
+//! cancel operation or tombstones.
 //!
 //! Channel semantics (see crate docs and DESIGN.md §5): unit-disk
 //! audibility at `PhyParams::range_m`, any overlapping audible
@@ -162,6 +165,9 @@ struct World<M: Message> {
     scratch: Vec<u16>,
     /// Reusable receiver buffer (avoids an allocation per `TxEnd`).
     rx_scratch: Vec<usize>,
+    /// Reusable buffer for frames a radio failure destroys (avoids an
+    /// allocation per churn toggle).
+    churn_scratch: Vec<OutFrame<M>>,
     /// Per-node visit stamps deduplicating grid candidates without a
     /// sort (a node's leg can span several queried cells).
     stamps: Vec<u64>,
@@ -471,12 +477,14 @@ impl<M: Message> World<M> {
     /// any armed backoff, a frame mid-air — and detaches the node from
     /// the spatial index; recovering re-attaches it with a clean MAC.
     ///
-    /// Returns the queued frames dropped by a failure (empty on
-    /// recovery) so the engine can report the unicasts among them
+    /// Leaves the queued frames dropped by a failure (none on recovery)
+    /// in `churn_scratch` — a reused buffer, not a per-toggle
+    /// allocation — so the engine can report the unicasts among them
     /// through [`Protocol::on_send_failure`] — the stack keeps running
     /// and deserves to hear that its radio took the queue down with it.
-    fn handle_churn(&mut self, node: usize) -> Vec<OutFrame<M>> {
+    fn handle_churn(&mut self, node: usize) {
         let churn = self.phy.churn().expect("churn event without churn model");
+        self.churn_scratch.clear();
         if self.down[node] {
             self.down[node] = false;
             self.up_since[node] = self.now;
@@ -487,14 +495,12 @@ impl<M: Message> World<M> {
             self.slide_window(node);
             let up = churn.sample_up(&mut self.churn_rngs[node]);
             self.queue.schedule(self.now + up, Event::Churn { node });
-            Vec::new()
         } else {
             self.down[node] = true;
             self.hot.churn_fail += 1;
             // Drop in-flight MAC state and invalidate any armed attempt.
-            let mut dropped = Vec::new();
             while let Some(frame) = self.macs[node].pop_head() {
-                dropped.push(frame);
+                self.churn_scratch.push(frame);
             }
             self.macs[node].retries = 0;
             self.macs[node].cw = self.phy.cw_min();
@@ -512,7 +518,6 @@ impl<M: Message> World<M> {
             }
             let down = churn.sample_down(&mut self.churn_rngs[node]);
             self.queue.schedule(self.now + down, Event::Churn { node });
-            dropped
         }
     }
 
@@ -723,6 +728,7 @@ impl<P: Protocol> Engine<P> {
             hot: HotCounters::default(),
             scratch: Vec::new(),
             rx_scratch: Vec::new(),
+            churn_scratch: Vec::new(),
             stamps: vec![0; n],
             stamp: 0,
             phy,
@@ -788,8 +794,12 @@ impl<P: Protocol> Engine<P> {
             Event::Churn { node } => {
                 // Unicast frames destroyed by a radio failure are
                 // reported to the (still running) stack, which relies
-                // on send failures as its link-break signal.
-                for frame in self.world.handle_churn(node) {
+                // on send failures as its link-break signal. The buffer
+                // is borrowed out of the world (the callback needs the
+                // world mutably) and handed back afterwards for reuse.
+                self.world.handle_churn(node);
+                let mut dropped = std::mem::take(&mut self.world.churn_scratch);
+                for frame in dropped.drain(..) {
                     if let Some(dest) = frame.dest {
                         let mut api = NodeApi {
                             world: &mut self.world,
@@ -798,6 +808,7 @@ impl<P: Protocol> Engine<P> {
                         self.protocols[node].on_send_failure(&mut api, dest, frame.msg);
                     }
                 }
+                self.world.churn_scratch = dropped;
             }
             Event::TxEnd { tx_id } => self.handle_tx_end(tx_id),
         }
@@ -876,6 +887,19 @@ impl<P: Protocol> Engine<P> {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.world.node_count()
+    }
+
+    /// Total kernel events dispatched so far (timers, MAC attempts,
+    /// transmission completions, mobility transitions, index refreshes,
+    /// churn toggles). The events/second figure in `BENCH_<pr>.json`
+    /// divides this by wall-clock time.
+    pub fn events_processed(&self) -> u64 {
+        self.world.queue.popped_count()
+    }
+
+    /// Total kernel events ever scheduled (processed + still pending).
+    pub fn events_scheduled(&self) -> u64 {
+        self.world.queue.scheduled_count()
     }
 
     /// Engine-global counters: MAC statistics plus anything protocols

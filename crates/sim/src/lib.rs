@@ -6,8 +6,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer nanosecond simulated time,
 //!   immune to floating-point drift over 600-second runs.
-//! * [`EventQueue`] — a priority queue of timestamped events with
-//!   deterministic FIFO tie-breaking, the heart of the kernel.
+//! * [`EventQueue`] — the scheduler: a self-resizing calendar queue of
+//!   timestamped events with deterministic FIFO tie-breaking, the heart
+//!   of the kernel. The seed `BinaryHeap` implementation survives as
+//!   [`reference::BinaryHeapQueue`], the differential-testing oracle and
+//!   perf baseline (both drain in the identical `(time, seq)` order).
 //! * [`rng`] — reproducible random-number streams: a master seed is split
 //!   into independent per-component streams with SplitMix64 so that adding a
 //!   node or a protocol never perturbs the randomness seen by others.
@@ -37,6 +40,7 @@
 mod event;
 mod time;
 
+pub mod reference;
 pub mod rng;
 pub mod stats;
 

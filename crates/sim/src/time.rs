@@ -54,6 +54,16 @@ impl SimTime {
         SimTime(nanos)
     }
 
+    /// Creates an instant `micros` microseconds after simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
     /// Creates an instant `secs` seconds after simulation start.
     pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000_000_000)

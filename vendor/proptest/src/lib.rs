@@ -4,7 +4,7 @@
 //! vendors a minimal shim (see `vendor/README.md`) covering the subset
 //! the unit tests use: the [`proptest!`] macro over `arg in strategy`
 //! parameters, integer/float range strategies,
-//! [`collection::vec`](crate::collection::vec) and the
+//! [`collection::vec`] and the
 //! `prop_assert!`/`prop_assert_eq!` macros.
 //!
 //! Unlike the real proptest there is **no shrinking and no persistent
