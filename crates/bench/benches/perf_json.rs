@@ -15,13 +15,52 @@
 //! * `AG_BENCH_QUICK` — any value: shrink op counts ~10× (smoke runs).
 //! * `AG_BENCH_PR` — PR number stamped into the JSON (default 6).
 //!
+//! Built with `--features alloc-count`, a counting global allocator is
+//! installed and every leg additionally records exact `allocs` /
+//! `allocs_per_event` figures: the queue and stress legs count the
+//! whole timed region, the engine legs count a *steady-state
+//! continuation window* run after the timed region (construction and
+//! warm-up growth excluded — the number the zero-allocation hot-path
+//! diet is accountable for — quick mode omits these fields, since its
+//! shrunk warm-up never reaches steady state). The counting itself
+//! costs one relaxed
+//! atomic increment per allocation, which a dieted hot path performs
+//! zero of, so timings stay comparable either way.
+//!
 //! Determinism: all workloads are pure functions of fixed seeds; only
-//! the wall-clock timings vary between runs.
+//! the wall-clock timings vary between runs (allocation counts do not).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use ag_bench::perf::{compare, extract_metrics, peak_rss_kb, render_json, Leg};
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: ag_bench::alloc::CountingAllocator = ag_bench::alloc::CountingAllocator::new();
+
+/// Allocations observed so far; 0 without the `alloc-count` feature.
+fn alloc_count() -> u64 {
+    #[cfg(feature = "alloc-count")]
+    {
+        ALLOC.count()
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        0
+    }
+}
+
+/// Attaches an allocation count only when the counting allocator is
+/// actually installed (otherwise the delta is meaninglessly zero and
+/// the JSON field would overstate what was measured).
+fn maybe_with_allocs(leg: Leg, allocs: u64) -> Leg {
+    if cfg!(feature = "alloc-count") {
+        leg.with_allocs(allocs)
+    } else {
+        leg
+    }
+}
 use ag_bench::{beacon_engine, dense_engine};
 use ag_harness::{run_counting, ChurnParams, ProtocolKind, ReceptionModel, Scenario};
 use ag_sim::reference::BinaryHeapQueue;
@@ -57,6 +96,7 @@ macro_rules! steady_leg {
             let d = SimDuration::from_nanos(50_000 + splitmix(&mut rng) % 4_950_000);
             q.schedule(now + d, 0u32);
         }
+        let a0 = alloc_count();
         let start = Instant::now();
         for _ in 0..$ops {
             let (t, _) = q.pop().expect("hold pattern never empties");
@@ -64,7 +104,7 @@ macro_rules! steady_leg {
             let d = SimDuration::from_nanos(50_000 + splitmix(&mut rng) % 4_950_000);
             q.schedule(now + d, 0u32);
         }
-        start.elapsed().as_secs_f64()
+        (start.elapsed().as_secs_f64(), alloc_count() - a0)
     }};
 }
 
@@ -76,6 +116,7 @@ macro_rules! ties_leg {
         let mut q = $mk;
         let mut rng = 0xbeef_u64;
         let mut now = SimTime::ZERO;
+        let a0 = alloc_count();
         let start = Instant::now();
         for _ in 0..$ops {
             if q.len() < PREFILL {
@@ -87,7 +128,7 @@ macro_rules! ties_leg {
             let (t, _) = q.pop().expect("burst refill keeps queue non-empty");
             now = t;
         }
-        start.elapsed().as_secs_f64()
+        (start.elapsed().as_secs_f64(), alloc_count() - a0)
     }};
 }
 
@@ -104,17 +145,38 @@ fn engine_leg(
     repeats: usize,
     mk: impl Fn() -> ag_net::Engine<ag_bench::Beacon>,
     sim_secs: u64,
+    probe_secs: Option<u64>,
 ) -> Leg {
     let mut events = 0;
+    let mut allocs = 0u64;
     let secs = best_of(repeats, || {
         let mut engine = mk();
         let start = Instant::now();
         engine.run_until(SimTime::from_secs(sim_secs));
         let secs = start.elapsed().as_secs_f64();
         events = engine.events_processed();
+        // Steady-state allocation probe, outside the timed region: by
+        // now every scratch buffer, MAC queue and index bucket has hit
+        // its high-water capacity, so a continuation window measures
+        // exactly the per-event allocations the hot-path diet owes —
+        // expected 0. Quick mode passes `None`: a few warm-up seconds
+        // are not steady state, and attaching the still-growing count
+        // would false-fail the exact alloc gate against a full-mode
+        // baseline.
+        if let Some(probe) = probe_secs {
+            if cfg!(feature = "alloc-count") {
+                let a0 = alloc_count();
+                engine.run_until(SimTime::from_secs(sim_secs + probe));
+                allocs = alloc_count() - a0;
+            }
+        }
         secs
     });
-    Leg::new(name, events, secs)
+    if probe_secs.is_some() {
+        maybe_with_allocs(Leg::new(name, events, secs), allocs)
+    } else {
+        Leg::new(name, events, secs)
+    }
 }
 
 fn stress_matrix_run(sim_secs: u64, seeds: &[u64]) -> (u64, f64) {
@@ -143,12 +205,18 @@ fn stress_matrix_run(sim_secs: u64, seeds: &[u64]) -> (u64, f64) {
 
 fn stress_matrix_leg(repeats: usize, sim_secs: u64, seeds: &[u64]) -> Leg {
     let mut events = 0;
+    let mut allocs = 0u64;
     let secs = best_of(repeats, || {
+        // Unlike the engine legs, the alloc count here spans the whole
+        // timed region including engine construction — an honest total
+        // for the full-stack workload rather than a steady-state probe.
+        let a0 = alloc_count();
         let (ev, secs) = stress_matrix_run(sim_secs, seeds);
+        allocs = alloc_count() - a0;
         events = ev;
         secs
     });
-    Leg::new("stress_matrix_harsh", events, secs)
+    maybe_with_allocs(Leg::new("stress_matrix_harsh", events, secs), allocs)
 }
 
 fn main() {
@@ -162,36 +230,40 @@ fn main() {
     // extra repeats buy the most gate stability per second there.
     let queue_repeats: usize = if quick { 1 } else { 5 };
 
+    // Simulated seconds the engine legs keep running after the timed
+    // region to measure steady-state allocations (tens of thousands of
+    // events at these rates). Quick mode skips the probe entirely: the
+    // shrunk warm-up has not reached steady state, and the compare
+    // step skips alloc checks for legs without alloc data.
+    let probe_secs: Option<u64> = if quick { None } else { Some(5) };
+
     let mut legs = Vec::new();
 
     eprintln!("measuring queue legs ({queue_ops} ops each, best of {queue_repeats})...");
-    legs.push(Leg::new(
+    let queue_leg = |name: &str, mut f: Box<dyn FnMut() -> (f64, u64)>| {
+        let mut allocs = 0u64;
+        let secs = best_of(queue_repeats, || {
+            let (s, a) = f();
+            allocs = a;
+            s
+        });
+        maybe_with_allocs(Leg::new(name, queue_ops, secs), allocs)
+    };
+    legs.push(queue_leg(
         "queue_calendar_steady",
-        queue_ops,
-        best_of(queue_repeats, || {
-            steady_leg!(EventQueue::<u32>::new(), queue_ops)
-        }),
+        Box::new(move || steady_leg!(EventQueue::<u32>::new(), queue_ops)),
     ));
-    legs.push(Leg::new(
+    legs.push(queue_leg(
         "queue_heap_steady",
-        queue_ops,
-        best_of(queue_repeats, || {
-            steady_leg!(BinaryHeapQueue::<u32>::new(), queue_ops)
-        }),
+        Box::new(move || steady_leg!(BinaryHeapQueue::<u32>::new(), queue_ops)),
     ));
-    legs.push(Leg::new(
+    legs.push(queue_leg(
         "queue_calendar_dense_ties",
-        queue_ops,
-        best_of(queue_repeats, || {
-            ties_leg!(EventQueue::<u32>::new(), queue_ops)
-        }),
+        Box::new(move || ties_leg!(EventQueue::<u32>::new(), queue_ops)),
     ));
-    legs.push(Leg::new(
+    legs.push(queue_leg(
         "queue_heap_dense_ties",
-        queue_ops,
-        best_of(queue_repeats, || {
-            ties_leg!(BinaryHeapQueue::<u32>::new(), queue_ops)
-        }),
+        Box::new(move || ties_leg!(BinaryHeapQueue::<u32>::new(), queue_ops)),
     ));
 
     eprintln!("measuring engine legs (best of {repeats})...");
@@ -200,12 +272,14 @@ fn main() {
         repeats,
         || beacon_engine(500, 1, true),
         engine_secs,
+        probe_secs,
     ));
     legs.push(engine_leg(
         "engine_dense_250",
         repeats,
         || dense_engine(250, 1),
         dense_secs,
+        probe_secs,
     ));
 
     eprintln!("measuring stress-matrix leg (best of {repeats})...");
@@ -228,8 +302,12 @@ fn main() {
     let json = render_json(pr, &legs, &baseline_eps, peak_rss_kb());
 
     for leg in &legs {
+        let allocs = match leg.allocs {
+            Some(a) => format!("  {a:>9} allocs"),
+            None => String::new(),
+        };
         eprintln!(
-            "  {:<28} {:>12.0} ev/s  {:>8.1} ns/ev",
+            "  {:<28} {:>12.0} ev/s  {:>8.1} ns/ev{allocs}",
             leg.name,
             leg.events_per_sec(),
             leg.ns_per_event()

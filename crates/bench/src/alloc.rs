@@ -1,0 +1,66 @@
+//! A counting global allocator for the allocation-regression benches.
+//!
+//! Only compiled under the `alloc-count` feature. The bench and test
+//! binaries that want allocation numbers install [`CountingAllocator`]
+//! as their `#[global_allocator]` and read [`CountingAllocator::count`]
+//! deltas around the measured region. Allocation counts — unlike
+//! nanoseconds — are deterministic for this workspace's deterministic
+//! simulations, so `BENCH_<pr>.json` records them exactly and the CI
+//! gate compares them with no tolerance.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts every allocation and
+/// reallocation (frees are not counted: the diet target is "no new
+/// heap traffic per event", and every steady-state free implies a
+/// matching alloc).
+pub struct CountingAllocator {
+    allocs: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter at zero (`const`, so it can initialise a
+    /// `static`).
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocations + reallocations observed since program start.
+    pub fn count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates every operation unchanged to `System`; the only
+// addition is a relaxed atomic increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

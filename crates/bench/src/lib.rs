@@ -8,7 +8,10 @@
 //! each figure; the *science* lives in the harness binaries and
 //! EXPERIMENTS.md.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `alloc` module needs `unsafe` for its
+// `GlobalAlloc` impl and opts back in explicitly; everything else in the
+// crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use ag_harness::Scenario;
@@ -17,6 +20,8 @@ use ag_net::{Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, R
 use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::SimDuration;
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod perf;
 
 /// Seconds of simulated time per benchmark run.

@@ -30,6 +30,12 @@ pub struct Leg {
     pub events: u64,
     /// Wall-clock seconds the leg took.
     pub secs: f64,
+    /// Heap allocations observed during the leg, when the bench ran
+    /// with the `alloc-count` feature (a counting global allocator).
+    /// `None` when the feature was off. Unlike the timing figures,
+    /// allocation counts are deterministic, so the regression gate
+    /// compares them exactly.
+    pub allocs: Option<u64>,
 }
 
 impl Leg {
@@ -39,7 +45,14 @@ impl Leg {
             name: name.into(),
             events,
             secs,
+            allocs: None,
         }
+    }
+
+    /// Attaches an allocation count measured by the counting allocator.
+    pub fn with_allocs(mut self, allocs: u64) -> Self {
+        self.allocs = Some(allocs);
+        self
     }
 
     /// Events dispatched per wall-clock second.
@@ -89,6 +102,17 @@ pub fn render_json(
             leg.events_per_sec(),
             leg.ns_per_event(),
         );
+        if let Some(allocs) = leg.allocs {
+            let per_event = if leg.events > 0 {
+                allocs as f64 / leg.events as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                ", \"allocs\": {allocs}, \"allocs_per_event\": {per_event:.4}"
+            );
+        }
         if let Some(base) = baseline_eps.get(&leg.name) {
             let speedup = if *base > 0.0 {
                 leg.events_per_sec() / base
@@ -121,6 +145,23 @@ pub fn extract_metrics(json: &str) -> Vec<(String, f64)> {
             continue;
         };
         out.push((name.to_string(), eps));
+    }
+    out
+}
+
+/// Recovers `(leg name, allocs)` pairs from a `BENCH_*.json` document.
+/// Legs without an `"allocs"` field (runs without the `alloc-count`
+/// feature) are skipped.
+pub fn extract_allocs(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(allocs) = field_num(line, "\"allocs\": ") else {
+            continue;
+        };
+        out.push((name.to_string(), allocs as u64));
     }
     out
 }
@@ -217,6 +258,24 @@ pub fn compare(baseline_json: &str, current_json: &str, tolerance: f64) -> Resul
     for name in current.keys() {
         if !baseline.contains_key(name) {
             let _ = writeln!(report, "new  {name}: no baseline, informational only");
+        }
+    }
+    // Allocation gate: unlike the timing figures, allocation counts are
+    // deterministic (same binary, same seeds, same growth pattern), so
+    // any increase is a real regression and the compare is exact — no
+    // tolerance, no calibration, and the informational legs are held to
+    // it too. Legs lacking alloc data on either side (runs without the
+    // `alloc-count` feature) are skipped.
+    let base_allocs: BTreeMap<String, u64> = extract_allocs(baseline_json).into_iter().collect();
+    let cur_allocs: BTreeMap<String, u64> = extract_allocs(current_json).into_iter().collect();
+    for (name, base) in &base_allocs {
+        if let Some(now) = cur_allocs.get(name) {
+            if now > base {
+                failed = true;
+                let _ = writeln!(report, "FAIL {name}: allocations rose {base} -> {now}");
+            } else {
+                let _ = writeln!(report, "ok   {name}: allocations {now} (baseline {base})");
+            }
         }
     }
     if failed {
@@ -357,6 +416,42 @@ mod tests {
         let report = compare(&legs(10_000_000), &without, 0.10)
             .expect_err("missing informational leg must still fail");
         assert!(report.contains("FAIL queue_calendar_dense_ties"));
+    }
+
+    #[test]
+    fn alloc_counts_round_trip_and_gate_exactly() {
+        let mk = |allocs: u64| {
+            render_json(
+                7,
+                &[
+                    Leg::new("engine_beacon", 1_000_000, 1.0).with_allocs(allocs),
+                    Leg::new("queue_steady", 1_000_000, 1.0),
+                ],
+                &BTreeMap::new(),
+                0,
+            )
+        };
+        let base = mk(0);
+        assert!(base.contains("\"allocs\": 0, \"allocs_per_event\": 0.0000"));
+        // Legs without alloc data carry no alloc fields and are skipped.
+        let extracted = extract_allocs(&base);
+        assert_eq!(extracted, vec![("engine_beacon".to_string(), 0)]);
+        // The timing extractor is not confused by the extra fields.
+        assert_eq!(extract_metrics(&base).len(), 2);
+        // Equal counts pass; a single extra allocation fails, even with
+        // timing identical (exact compare, no tolerance).
+        assert!(compare(&base, &mk(0), 0.10).is_ok());
+        let report = compare(&base, &mk(1), 0.10).expect_err("one extra allocation must fail");
+        assert!(report.contains("FAIL engine_beacon: allocations rose 0 -> 1"));
+        // Fewer allocations than baseline pass (that's the diet working).
+        assert!(compare(&mk(5), &mk(2), 0.10).is_ok());
+        // A baseline without alloc data never trips the gate.
+        assert!(compare(
+            &mk(5).replace(", \"allocs\": 5, \"allocs_per_event\": 0.0000", ""),
+            &mk(9),
+            0.10
+        )
+        .is_ok());
     }
 
     #[test]

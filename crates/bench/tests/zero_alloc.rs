@@ -1,0 +1,44 @@
+//! Regression test for the engine's zero-allocation steady state.
+//!
+//! Only built under the `alloc-count` feature (`cargo test -p ag-bench
+//! --features alloc-count --test zero_alloc`): installs the counting
+//! global allocator and asserts that a warmed-up beacon engine
+//! dispatches ≥ 10 000 further events without a single heap
+//! allocation. This turns the PR 7 allocation diet from a one-time
+//! measurement into a checked invariant — any future per-event `Vec`,
+//! clone of a heap-backed payload, or dropped scratch buffer fails the
+//! suite deterministically.
+
+#![cfg(feature = "alloc-count")]
+
+use ag_bench::alloc::CountingAllocator;
+use ag_bench::dense_engine;
+use ag_sim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn steady_state_beacon_run_allocates_nothing() {
+    // The dense engine: 250 nodes beaconing every 100 ms on a small
+    // field, spatial index on — the same workload as the
+    // `engine_dense_250` perf leg. 30 simulated seconds of warm-up
+    // brings every scratch buffer, MAC queue, calendar-queue bucket and
+    // spatial-index cell to its high-water capacity.
+    let mut engine = dense_engine(250, 1);
+    engine.run_until(SimTime::from_secs(30));
+
+    let e0 = engine.events_processed();
+    let a0 = ALLOC.count();
+    let mut sim_secs = 30;
+    while engine.events_processed() - e0 < 10_000 {
+        sim_secs += 1;
+        engine.run_until(SimTime::from_secs(sim_secs));
+    }
+    let events = engine.events_processed() - e0;
+    let allocs = ALLOC.count() - a0;
+    assert_eq!(
+        allocs, 0,
+        "steady-state engine performed {allocs} heap allocations over {events} events"
+    );
+}

@@ -1,7 +1,9 @@
 //! The history table (§4.4): a bounded FIFO of the most recent packets
 //! received, retained so gossip replies can carry the actual data.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use ag_sim::hash::DetHashMap as HashMap;
 
 use crate::message::{PacketId, PacketRecord};
 
@@ -35,7 +37,7 @@ impl HistoryTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "history table needs capacity");
         HistoryTable {
-            by_id: HashMap::with_capacity(capacity),
+            by_id: HashMap::with_capacity_and_hasher(capacity, Default::default()),
             order: VecDeque::with_capacity(capacity),
             capacity,
         }

@@ -2,7 +2,9 @@
 //! missing, discovered when a packet arrives with a sequence number past
 //! the expected one.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+use ag_sim::hash::DetHashSet as HashSet;
 
 use ag_net::NodeId;
 
@@ -49,7 +51,7 @@ impl LostTable {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "lost table needs capacity");
         LostTable {
-            lost: HashSet::new(),
+            lost: HashSet::default(),
             order: VecDeque::new(),
             expected: BTreeMap::new(),
             capacity,

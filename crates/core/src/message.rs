@@ -1,6 +1,8 @@
 //! The gossip wire messages (paper §4.1's five-field gossip message plus
 //! the reply).
 
+use std::sync::Arc;
+
 use ag_maodv::GroupId;
 use ag_net::{Message, NodeId};
 
@@ -65,12 +67,30 @@ pub struct GossipReply {
 }
 
 /// The extension payload Anonymous Gossip rides on MAODV frames.
+///
+/// The variants hold their bodies behind `Arc`: the engine clones every
+/// payload once onto the air and once per broadcast receiver (the
+/// [`Message`] cheap-clone contract), and the request/reply bodies carry
+/// heap-backed `Vec`s that would otherwise be deep-copied each time.
+/// Cloning an `AgMsg` is a refcount bump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AgMsg {
     /// A gossip request walking the tree or unicast to a cached member.
-    Request(GossipRequest),
+    Request(Arc<GossipRequest>),
     /// A gossip reply unicast back to the initiator.
-    Reply(GossipReply),
+    Reply(Arc<GossipReply>),
+}
+
+impl AgMsg {
+    /// Wraps a request body for the wire.
+    pub fn request(r: GossipRequest) -> Self {
+        AgMsg::Request(Arc::new(r))
+    }
+
+    /// Wraps a reply body for the wire.
+    pub fn reply(r: GossipReply) -> Self {
+        AgMsg::Reply(Arc::new(r))
+    }
 }
 
 impl Message for AgMsg {
@@ -108,7 +128,7 @@ mod tests {
 
     #[test]
     fn request_wire_size_scales_with_content() {
-        let empty = AgMsg::Request(GossipRequest {
+        let empty = AgMsg::request(GossipRequest {
             group: GroupId(0),
             initiator: id(0),
             lost: vec![],
@@ -116,7 +136,7 @@ mod tests {
             hops: 0,
             ttl: 8,
         });
-        let full = AgMsg::Request(GossipRequest {
+        let full = AgMsg::request(GossipRequest {
             group: GroupId(0),
             initiator: id(0),
             lost: (0..10).map(|s| PacketId::new(id(1), s)).collect(),
@@ -130,7 +150,7 @@ mod tests {
 
     #[test]
     fn reply_carries_payload_bytes() {
-        let reply = AgMsg::Reply(GossipReply {
+        let reply = AgMsg::reply(GossipReply {
             group: GroupId(0),
             responder: id(3),
             packets: vec![

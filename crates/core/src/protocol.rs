@@ -6,6 +6,8 @@
 //! MAODV without much overhead" and could wrap any multicast protocol
 //! exposing the same hooks.
 
+use std::sync::Arc;
+
 use ag_maodv::delivery::{DeliveryLog, DeliveryPath};
 use ag_maodv::{GroupId, Maodv, MaodvConfig, MaodvMsg, TrafficSource, Upcall, TIMER_USER_BASE};
 use ag_net::{NodeApi, NodeId, Protocol, RxKind, TimerKey};
@@ -37,15 +39,17 @@ fn weighted_pick(
     if !locality {
         return Some(candidates[rng.random_range(0..candidates.len())].0);
     }
-    let weights: Vec<f64> = candidates
-        .iter()
-        .map(|&(_, nm)| 1.0 / f64::from(nm.max(1)))
-        .collect();
-    let total: f64 = weights.iter().sum();
+    // Two passes instead of a collected weight buffer: the sum visits
+    // the weights in the same order the old `Vec` did and the walk
+    // recomputes the same values, so the single RNG draw and every
+    // comparison are bit-identical to the allocating version.
+    let weight = |nm: u8| 1.0 / f64::from(nm.max(1));
+    let total: f64 = candidates.iter().map(|&(_, nm)| weight(nm)).sum();
     let mut draw = rng.random_range(0.0..total);
-    for (i, w) in weights.iter().enumerate() {
-        if draw < *w {
-            return Some(candidates[i].0);
+    for &(node, nm) in candidates {
+        let w = weight(nm);
+        if draw < w {
+            return Some(node);
         }
         draw -= w;
     }
@@ -135,6 +139,13 @@ pub struct AnonymousGossip {
     cache: MemberCache,
     metrics: GossipMetrics,
     traffic: Option<TrafficSource>,
+    /// Reused per-delivery upcall buffer (engine callbacks fire once per
+    /// received frame/timer; a fresh `Vec` each time was a steady-state
+    /// allocation).
+    up_scratch: Vec<Upcall<AgMsg>>,
+    /// Reused `(node, nearest_member)` candidate buffer for
+    /// [`weighted_pick`].
+    cand_scratch: Vec<(NodeId, u8)>,
 }
 
 impl AnonymousGossip {
@@ -160,6 +171,8 @@ impl AnonymousGossip {
             cache: MemberCache::new(cfg.member_cache_capacity),
             metrics: GossipMetrics::new(),
             traffic,
+            up_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
             cfg,
         }
     }
@@ -226,8 +239,8 @@ impl AnonymousGossip {
         new
     }
 
-    fn process_upcalls(&mut self, api: &mut Api<'_>, upcalls: Vec<Upcall<AgMsg>>) {
-        for up in upcalls {
+    fn process_upcalls(&mut self, api: &mut Api<'_>, upcalls: &mut Vec<Upcall<AgMsg>>) {
+        for up in upcalls.drain(..) {
             match up {
                 Upcall::DataReceived {
                     origin,
@@ -286,13 +299,14 @@ impl AnonymousGossip {
             rng.random_bool(self.cfg.p_anon)
         };
         let anon_target = {
-            let candidates: Vec<(NodeId, u8)> = self
-                .maodv
-                .mrt()
-                .enabled()
-                .map(|h| (h.node, h.nearest_member))
-                .collect();
-            weighted_pick(&candidates, self.cfg.locality_weighting, api.rng())
+            self.cand_scratch.clear();
+            self.cand_scratch.extend(
+                self.maodv
+                    .mrt()
+                    .enabled()
+                    .map(|h| (h.node, h.nearest_member)),
+            );
+            weighted_pick(&self.cand_scratch, self.cfg.locality_weighting, api.rng())
         };
         let cached_target = {
             let me = self.maodv.id();
@@ -302,14 +316,14 @@ impl AnonymousGossip {
         match (want_anon, anon_target, cached_target) {
             (true, Some(next), _) | (false, Some(next), None) => {
                 self.metrics.rounds_anonymous += 1;
-                self.maodv.send_ext_neighbor(api, next, AgMsg::Request(req));
+                self.maodv.send_ext_neighbor(api, next, AgMsg::request(req));
                 api.count("ag.request_anon_sent");
             }
             (false, _, Some(entry)) | (true, None, Some(entry)) => {
                 self.metrics.rounds_cached += 1;
                 self.cache.record_gossip(entry.node, api.now());
                 self.maodv
-                    .send_ext_routed(api, entry.node, AgMsg::Request(req));
+                    .send_ext_routed(api, entry.node, AgMsg::request(req));
                 api.count("ag.request_cached_sent");
             }
             (_, None, None) => {
@@ -320,7 +334,7 @@ impl AnonymousGossip {
     }
 
     /// A request walking the tree arrived from `from` (§4.1 step flow).
-    fn handle_walking_request(&mut self, api: &mut Api<'_>, from: NodeId, r: GossipRequest) {
+    fn handle_walking_request(&mut self, api: &mut Api<'_>, from: NodeId, r: Arc<GossipRequest>) {
         if r.initiator == self.maodv.id() {
             // The walk came back around; nothing useful to do.
             self.metrics.requests_dropped += 1;
@@ -343,27 +357,29 @@ impl AnonymousGossip {
         let next = if r.ttl <= 1 {
             None
         } else {
-            let candidates: Vec<(NodeId, u8)> = self
-                .maodv
-                .mrt()
-                .enabled()
-                .filter(|h| h.node != from && h.node != r.initiator)
-                .map(|h| (h.node, h.nearest_member))
-                .collect();
-            weighted_pick(&candidates, self.cfg.locality_weighting, api.rng())
+            let initiator = r.initiator;
+            self.cand_scratch.clear();
+            self.cand_scratch.extend(
+                self.maodv
+                    .mrt()
+                    .enabled()
+                    .filter(|h| h.node != from && h.node != initiator)
+                    .map(|h| (h.node, h.nearest_member)),
+            );
+            weighted_pick(&self.cand_scratch, self.cfg.locality_weighting, api.rng())
         };
         match next {
             Some(next) => {
                 self.metrics.requests_propagated += 1;
-                self.maodv.send_ext_neighbor(
-                    api,
-                    next,
-                    AgMsg::Request(GossipRequest {
-                        hops: r.hops.saturating_add(1),
-                        ttl: r.ttl - 1,
-                        ..r
-                    }),
-                );
+                // The walk normally holds the only reference to the
+                // body by now (the delivering frame has left the air),
+                // so stepping hops/ttl is an in-place update, not a
+                // copy of the lost/expected vecs.
+                let mut body = Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone());
+                body.hops = body.hops.saturating_add(1);
+                body.ttl -= 1;
+                self.maodv
+                    .send_ext_neighbor(api, next, AgMsg::Request(Arc::new(body)));
             }
             None if self.maodv.is_member() => {
                 // Nowhere to go: accept rather than waste the walk.
@@ -392,7 +408,7 @@ impl AnonymousGossip {
         self.maodv.send_ext_routed(
             api,
             r.initiator,
-            AgMsg::Reply(GossipReply {
+            AgMsg::reply(GossipReply {
                 group: r.group,
                 responder: self.maodv.id(),
                 packets,
@@ -402,9 +418,9 @@ impl AnonymousGossip {
 
     /// A gossip reply arrived: deliver anything new (this is the paper's
     /// loss recovery) and measure goodput.
-    fn handle_reply(&mut self, api: &mut Api<'_>, rep: GossipReply, hops: u8) {
+    fn handle_reply(&mut self, api: &mut Api<'_>, rep: Arc<GossipReply>, hops: u8) {
         self.cache.observe(rep.responder, hops, api.now());
-        for p in rep.packets {
+        for &p in &rep.packets {
             self.metrics.reply_packets_received += 1;
             let new = self.deliver(
                 api.now(),
@@ -441,15 +457,23 @@ impl Protocol for AnonymousGossip {
     }
 
     fn on_packet(&mut self, api: &mut Api<'_>, from: NodeId, msg: Self::Msg, rx: RxKind) {
-        let mut up = Vec::new();
+        // The upcall buffer is borrowed out of `self` and handed back
+        // after the drain (the `rx_scratch` idiom): one warm buffer per
+        // node instead of a fresh `Vec` per received frame. Safe because
+        // the upcall handlers never re-enter these engine callbacks.
+        let mut up = std::mem::take(&mut self.up_scratch);
+        debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         self.maodv.on_packet(api, from, msg, rx, &mut up);
-        self.process_upcalls(api, up);
+        self.process_upcalls(api, &mut up);
+        self.up_scratch = up;
     }
 
     fn on_timer(&mut self, api: &mut Api<'_>, key: TimerKey) {
-        let mut up = Vec::new();
+        let mut up = std::mem::take(&mut self.up_scratch);
+        debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         if self.maodv.on_timer(api, key, &mut up) {
-            self.process_upcalls(api, up);
+            self.process_upcalls(api, &mut up);
+            self.up_scratch = up;
             return;
         }
         match key {
@@ -469,13 +493,16 @@ impl Protocol for AnonymousGossip {
             }
             _ => {}
         }
-        self.process_upcalls(api, up);
+        self.process_upcalls(api, &mut up);
+        self.up_scratch = up;
     }
 
     fn on_send_failure(&mut self, api: &mut Api<'_>, to: NodeId, msg: Self::Msg) {
-        let mut up = Vec::new();
+        let mut up = std::mem::take(&mut self.up_scratch);
+        debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         self.maodv.on_send_failure(api, to, msg, &mut up);
-        self.process_upcalls(api, up);
+        self.process_upcalls(api, &mut up);
+        self.up_scratch = up;
     }
 }
 

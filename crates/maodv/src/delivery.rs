@@ -5,7 +5,7 @@
 //! group member" (de-duplicated), split here by *how* the packet arrived
 //! so the harness can attribute recovery to gossip.
 
-use std::collections::HashSet;
+use ag_sim::hash::DetHashSet as HashSet;
 
 use ag_net::NodeId;
 use serde::Serialize;

@@ -5,7 +5,7 @@
 //! paper's settings) is considered gone and any tree/route state through
 //! it is torn down by the caller.
 
-use std::collections::HashMap;
+use ag_sim::hash::DetHashMap as HashMap;
 
 use ag_net::NodeId;
 use ag_sim::{SimDuration, SimTime};
@@ -35,7 +35,7 @@ impl NeighborTable {
     /// Creates a table with the given liveness timeout.
     pub fn new(timeout: SimDuration) -> Self {
         NeighborTable {
-            last_heard: HashMap::new(),
+            last_heard: HashMap::default(),
             timeout,
         }
     }

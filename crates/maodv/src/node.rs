@@ -20,7 +20,7 @@
 //! hop-count-to-leader RREQ extension to rule out replies from its own
 //! subtree (loop prevention).
 
-use std::collections::HashMap;
+use ag_sim::hash::DetHashMap as HashMap;
 
 use ag_net::{Message, NodeApi, NodeId, RxKind, TimerKey};
 use ag_sim::{SimDuration, SimTime};
@@ -191,13 +191,13 @@ impl<X: Message> Maodv<X> {
             mrt: MulticastRouteTable::new(group, cfg.nearest_member_infinity),
             neighbors: NeighborTable::new(cfg.neighbor_timeout()),
             join: None,
-            pending_joins: HashMap::new(),
-            discoveries: HashMap::new(),
+            pending_joins: HashMap::default(),
+            discoveries: HashMap::default(),
             rreq_seen: SeenCache::new(cfg.rreq_seen_capacity),
             data_seen: SeenCache::new(cfg.data_seen_capacity),
             grph_seen: SeenCache::new(cfg.rreq_seen_capacity),
-            nm_sent: HashMap::new(),
-            forwarded_rreps: HashMap::new(),
+            nm_sent: HashMap::default(),
+            forwarded_rreps: HashMap::default(),
             join_started: false,
             last_tree_grph: None,
             adopted_grph: None,

@@ -102,6 +102,9 @@ pub struct MaodvProtocol {
     delivery: DeliveryLog,
     traffic: Option<TrafficSource>,
     members_observed: u64,
+    /// Reused per-delivery upcall buffer (a fresh `Vec` per engine
+    /// callback was a steady-state allocation).
+    up_scratch: Vec<Upcall<NoExt>>,
 }
 
 impl MaodvProtocol {
@@ -118,6 +121,7 @@ impl MaodvProtocol {
             delivery: DeliveryLog::new(),
             traffic,
             members_observed: 0,
+            up_scratch: Vec::new(),
         }
     }
 
@@ -137,8 +141,8 @@ impl MaodvProtocol {
         self.members_observed
     }
 
-    fn process(&mut self, upcalls: Vec<Upcall<NoExt>>) {
-        for up in upcalls {
+    fn process(&mut self, upcalls: &mut Vec<Upcall<NoExt>>) {
+        for up in upcalls.drain(..) {
             match up {
                 Upcall::DataReceived { origin, seq, .. } => {
                     self.delivery.record(origin, seq, DeliveryPath::Tree);
@@ -168,15 +172,21 @@ impl Protocol for MaodvProtocol {
         msg: Self::Msg,
         rx: RxKind,
     ) {
-        let mut up = Vec::new();
+        // Borrow the warm upcall buffer out of `self` and hand it back
+        // after the drain (the engine's scratch idiom).
+        let mut up = std::mem::take(&mut self.up_scratch);
+        debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         self.node.on_packet(api, from, msg, rx, &mut up);
-        self.process(up);
+        self.process(&mut up);
+        self.up_scratch = up;
     }
 
     fn on_timer(&mut self, api: &mut NodeApi<'_, Self::Msg>, key: TimerKey) {
-        let mut up = Vec::new();
+        let mut up = std::mem::take(&mut self.up_scratch);
+        debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         if self.node.on_timer(api, key, &mut up) {
-            self.process(up);
+            self.process(&mut up);
+            self.up_scratch = up;
             return;
         }
         if key == TIMER_TRAFFIC {
@@ -190,13 +200,16 @@ impl Protocol for MaodvProtocol {
                 }
             }
         }
-        self.process(up);
+        self.process(&mut up);
+        self.up_scratch = up;
     }
 
     fn on_send_failure(&mut self, api: &mut NodeApi<'_, Self::Msg>, to: NodeId, msg: Self::Msg) {
-        let mut up = Vec::new();
+        let mut up = std::mem::take(&mut self.up_scratch);
+        debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         self.node.on_send_failure(api, to, msg, &mut up);
-        self.process(up);
+        self.process(&mut up);
+        self.up_scratch = up;
     }
 }
 

@@ -4,7 +4,7 @@
 //! destination sequence number seen, the hop count, and a lifetime that
 //! is refreshed every time the route is used or re-learned.
 
-use std::collections::HashMap;
+use ag_sim::hash::DetHashMap as HashMap;
 
 use ag_net::NodeId;
 use ag_sim::SimTime;

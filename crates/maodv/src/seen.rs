@@ -4,7 +4,9 @@
 //! The capacity only needs to exceed the in-flight window, not the run
 //! length; eviction is strict FIFO which is deterministic and cheap.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use ag_sim::hash::DetHashSet as HashSet;
 use std::hash::Hash;
 
 /// Bounded set remembering the most recently inserted keys.
@@ -36,7 +38,7 @@ impl<K: Eq + Hash + Clone> SeenCache<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "seen cache needs capacity");
         SeenCache {
-            set: HashSet::with_capacity(capacity),
+            set: HashSet::with_capacity_and_hasher(capacity, Default::default()),
             order: VecDeque::with_capacity(capacity),
             capacity,
         }

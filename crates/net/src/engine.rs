@@ -25,7 +25,23 @@ use rand::Rng;
 
 use crate::grid::{AirIndex, NodeGrid, TxShot};
 use crate::mac::{Mac, MacState, OutFrame};
-use crate::{Message, NodeId, PhyParams, Protocol, RxKind, TimerKey};
+use crate::{Message, NodeId, PhyParams, Protocol, ReceptionModel, RxKind, TimerKey};
+
+/// Largest node count for which the engine pre-allocates the dense
+/// `n × n` per-link shadowing cache (8 MiB of `f64` at the cap). Above
+/// this, shadowing decisions recompute the Box–Muller transform per
+/// reception, as before.
+const SHADOW_CACHE_MAX_NODES: usize = 1024;
+
+/// Node-grid cell size as a fraction of the radio range. Cells at the
+/// full range make every disk query fetch a ~3 × 3-cell box — nine
+/// times the disk's area in candidates, all paying the dedupe-and-
+/// distance test. Half-range cells tighten the fetched box (and halve
+/// each node's bucketing-window smear) for a fraction of the per-query
+/// work; the exact per-candidate distance test makes the cell size
+/// invisible in results. Below one half, per-query cell iteration
+/// overhead starts winning back the savings.
+const GRID_CELL_FACTOR: f64 = 0.5;
 
 /// One scheduled kernel event.
 #[derive(Debug, Clone, Copy)]
@@ -168,10 +184,33 @@ struct World<M: Message> {
     /// Reusable buffer for frames a radio failure destroys (avoids an
     /// allocation per churn toggle).
     churn_scratch: Vec<OutFrame<M>>,
+    /// Reusable buffer of overlapping-sender positions for one `TxEnd`'s
+    /// collision checks (avoids a per-receiver air-index probe *and* a
+    /// per-event allocation).
+    overlap_scratch: Vec<Vec2>,
+    /// Memoized per-link squared effective range for the shadowing
+    /// reception model, indexed `a * n + b` with `a <= b` (the gain is
+    /// reciprocal and static, so one entry serves both directions for
+    /// the whole run). `NaN` marks an uncomputed entry — the gain math
+    /// can never legitimately produce `NaN`. Empty unless the model is
+    /// `Shadowing` and the node count is small enough to afford `n²`
+    /// entries.
+    shadow_cache: Vec<f64>,
     /// Per-node visit stamps deduplicating grid candidates without a
     /// sort (a node's leg can span several queried cells).
     stamps: Vec<u64>,
     stamp: u64,
+    /// One bit per node, set for each accepted receiver of the `TxEnd`
+    /// in flight. Sweeping the words in order emits the receiver list
+    /// already ascending, so the grid path never sorts it; the sweep
+    /// clears the bits behind itself.
+    recv_bits: Vec<u64>,
+    /// Watermarks asserting (in debug builds) that the scratch buffers
+    /// above actually round-trip: a capacity that shrinks between
+    /// events means some path leaked the buffer and replaced it with a
+    /// fresh allocation.
+    rx_scratch_cap: usize,
+    scratch_cap: usize,
 }
 
 impl<M: Message> World<M> {
@@ -228,7 +267,7 @@ impl<M: Message> World<M> {
         // candidates), floored to keep event counts sane for absurdly
         // fast movers.
         let secs_per_cell = leg.arrive.duration_since(leg.depart).as_secs_f64()
-            * (0.5 * self.phy.range_m())
+            * (0.5 * GRID_CELL_FACTOR * self.phy.range_m())
             / leg.from.distance_to(leg.to);
         let window = SimDuration::from_secs_f64(secs_per_cell.max(1e-6));
         let t1 = now.saturating_add(window);
@@ -290,6 +329,10 @@ impl<M: Message> World<M> {
     /// If any live transmission is audible at `node`, the latest time the
     /// medium stays busy; otherwise `None`.
     fn medium_busy_until(&self, node: usize) -> Option<SimTime> {
+        if !self.air.any_live() {
+            // Nothing on the air anywhere: skip the position sample.
+            return None;
+        }
         let pos = self.position(node);
         self.air.busy_until(pos, self.phy.range_m())
     }
@@ -314,6 +357,9 @@ impl<M: Message> World<M> {
 
     /// Puts `node`'s head frame on the air.
     fn start_tx(&mut self, node: usize) {
+        // The head frame stays queued until ACKed (unicast) or completed
+        // (broadcast), so the air record holds a clone — a refcount bump
+        // under the `Message` cheap-clone contract, not a payload copy.
         let frame = self.macs[node]
             .head()
             .expect("start_tx with empty queue")
@@ -348,18 +394,78 @@ impl<M: Message> World<M> {
         self.queue.schedule(end, Event::TxEnd { tx_id: id });
     }
 
+    /// Keyed-hash reception-model decision for one `(transmission,
+    /// receiver)` pair, serving shadowing decisions from the per-link
+    /// effective-range cache when one was allocated. Bit-identical to
+    /// [`ReceptionModel::receives`]: the cache stores exactly the value
+    /// `shadow_eff_range_sq` computes, and the comparison is the same.
+    fn channel_receives(
+        &mut self,
+        model: ReceptionModel,
+        tx_id: u64,
+        sender: u16,
+        receiver: u16,
+        dist_sq: f64,
+        range_m: f64,
+    ) -> bool {
+        if let ReceptionModel::Shadowing {
+            sigma_db,
+            path_loss_exp,
+        } = model
+        {
+            if !self.shadow_cache.is_empty() {
+                let n = self.node_count();
+                let (a, b) = if sender <= receiver {
+                    (sender, receiver)
+                } else {
+                    (receiver, sender)
+                };
+                let idx = a as usize * n + b as usize;
+                let mut eff_sq = self.shadow_cache[idx];
+                if eff_sq.is_nan() {
+                    eff_sq = crate::phy::shadow_eff_range_sq(
+                        self.channel_seed,
+                        sender,
+                        receiver,
+                        sigma_db,
+                        path_loss_exp,
+                        range_m,
+                    );
+                    self.shadow_cache[idx] = eff_sq;
+                }
+                return dist_sq <= eff_sq;
+            }
+        }
+        model.receives(self.channel_seed, tx_id, sender, receiver, dist_sq, range_m)
+    }
+
     /// All nodes that hear transmission `id` (described by `shot`, sent
     /// by `sender`) uncorrupted, in ascending node order. Also counts
     /// collisions.
     ///
     /// `id` must already be marked finished in the air index.
+    ///
+    /// Scratch round-trip: this takes `rx_scratch` as the result buffer
+    /// and the **caller** must hand it back (`handle_tx_end`, the sole
+    /// caller, restores it after the delivery loop); `scratch` and
+    /// `overlap_scratch` are taken and restored internally. The
+    /// watermark asserts below catch any path that forgets, which would
+    /// silently reintroduce a per-event allocation.
     fn uncorrupted_receivers(&mut self, id: u64, shot: &TxShot, sender: usize) -> Vec<usize> {
         let mut out = std::mem::take(&mut self.rx_scratch);
+        debug_assert!(
+            out.capacity() >= self.rx_scratch_cap,
+            "rx_scratch was not returned by the previous TxEnd"
+        );
         out.clear();
         let range = self.phy.range_m();
         let grid_path = self.grid.is_some();
         let reception = self.phy.reception();
         let ideal = reception.is_ideal();
+        // Without a churn model no radio is ever down and `up_since`
+        // stays at time zero, so the per-candidate liveness loads can't
+        // fire; hoist that fact out of the loop.
+        let churny = self.phy.churn().is_some();
         // If no other transmission overlaps this one's airtime window at
         // all, no receiver anywhere can be corrupted; skip the
         // per-receiver collision checks wholesale (the common case in
@@ -368,7 +474,26 @@ impl<M: Message> World<M> {
         // pre-index per-receiver scans unconditionally, as the original
         // engine did.
         let contended = !grid_path || self.air.any_overlapping(id, shot.start, shot.end);
+        // On the grid path, gather the overlapping senders once and let
+        // each receiver answer "am I corrupted?" with a linear scan over
+        // that (typically tiny) set, instead of probing the air index's
+        // cell grid per receiver. Same predicate as `corrupts`, same
+        // results. The brute-force baseline keeps the per-receiver
+        // scans as its documented cost baseline.
+        let mut overlaps = std::mem::take(&mut self.overlap_scratch);
+        overlaps.clear();
+        if grid_path && contended {
+            self.air
+                .collect_overlapping(id, shot.start, shot.end, &mut overlaps);
+        }
+        // Hoisted so the uncontended (empty-overlap) common case skips
+        // even the slice-iterator setup per candidate.
+        let any_overlap = !overlaps.is_empty();
         let mut cands = std::mem::take(&mut self.scratch);
+        debug_assert!(
+            cands.capacity() >= self.scratch_cap,
+            "scratch was not restored by the previous event"
+        );
         cands.clear();
         if let Some(grid) = &self.grid {
             grid.query_disk(shot.pos, range, &mut cands);
@@ -396,7 +521,7 @@ impl<M: Message> World<M> {
             // rest. Grid queries never return down nodes (they are
             // detached), but the brute-force path scans everyone, so
             // both paths check explicitly.
-            if self.down[r] || self.up_since[r] > shot.start {
+            if churny && (self.down[r] || self.up_since[r] > shot.start) {
                 continue;
             }
             // The brute-force path reproduces the pre-index engine:
@@ -413,22 +538,43 @@ impl<M: Message> World<M> {
             if dist_sq > range * range {
                 continue;
             }
-            if contended && self.air.corrupts(id, shot.start, shot.end, rpos, range) {
+            let corrupted = if grid_path {
+                any_overlap
+                    && overlaps
+                        .iter()
+                        .any(|p| p.distance_sq(rpos) <= range * range)
+            } else {
+                contended && self.air.corrupts(id, shot.start, shot.end, rpos, range)
+            };
+            if corrupted {
                 self.hot.rx_collision += 1;
             } else if !ideal
-                && !reception.receives(self.channel_seed, id, sender as u16, r16, dist_sq, range)
+                && !self.channel_receives(reception, id, sender as u16, r16, dist_sq, range)
             {
                 self.hot.rx_channel_drop += 1;
+            } else if grid_path {
+                self.recv_bits[r >> 6] |= 1u64 << (r & 63);
             } else {
                 out.push(r);
             }
         }
         if grid_path {
-            // Deliver in the same ascending node order as the
-            // brute-force scan.
-            out.sort_unstable();
+            // Sweep the receiver bitset in word order: the list comes
+            // out in the same ascending node order as the brute-force
+            // scan, without sorting it.
+            for (w, word) in self.recv_bits.iter_mut().enumerate() {
+                let mut bits = *word;
+                *word = 0;
+                while bits != 0 {
+                    out.push((w << 6) | bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+            }
         }
+        self.scratch_cap = cands.capacity();
         self.scratch = cands;
+        self.overlap_scratch = overlaps;
+        self.rx_scratch_cap = self.rx_scratch_cap.max(out.capacity());
         out
     }
 
@@ -691,7 +837,9 @@ impl<P: Protocol> Engine<P> {
             protocols.push(setup.protocol);
         }
         let legs: Vec<LegSample> = mobility.iter().map(|m| m.current_leg()).collect();
-        let grid = phy.spatial_index().then(|| NodeGrid::new(phy.range_m(), n));
+        let grid = phy
+            .spatial_index()
+            .then(|| NodeGrid::new(GRID_CELL_FACTOR * phy.range_m(), n));
         let mut world = World {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -726,11 +874,28 @@ impl<P: Protocol> Engine<P> {
             next_tx_id: 0,
             counters: CounterSet::new(),
             hot: HotCounters::default(),
-            scratch: Vec::new(),
-            rx_scratch: Vec::new(),
+            // Scratch buffers start at their natural bounds (receivers
+            // and overlapping transmissions are each capped by n;
+            // grid candidates can repeat across a leg's cells, so 2n)
+            // instead of discovering their high-water push by push —
+            // each discovery is a rare, late reallocation that would
+            // show up in the zero-allocation steady-state gate.
+            scratch: Vec::with_capacity(2 * n),
+            rx_scratch: Vec::with_capacity(n),
             churn_scratch: Vec::new(),
+            overlap_scratch: Vec::with_capacity(n),
+            shadow_cache: if matches!(phy.reception(), ReceptionModel::Shadowing { .. })
+                && n <= SHADOW_CACHE_MAX_NODES
+            {
+                vec![f64::NAN; n * n]
+            } else {
+                Vec::new()
+            },
             stamps: vec![0; n],
             stamp: 0,
+            recv_bits: vec![0; n.div_ceil(64)],
+            rx_scratch_cap: 0,
+            scratch_cap: 0,
             phy,
         };
         for node in 0..n {
@@ -834,7 +999,9 @@ impl<P: Protocol> Engine<P> {
         match rec.frame.dest {
             None => {
                 // Broadcast: the sender is done with this frame regardless
-                // of who heard it.
+                // of who heard it. The per-receiver clone is the
+                // `Message` cheap-clone contract at work: for `Arc`-backed
+                // payloads it is a refcount bump, not a deep copy.
                 self.world.finish_head_frame(sender);
                 self.world.hot.rx_delivered += receivers.len() as u64;
                 self.world.hot.rx_delivered_touched = true;
@@ -861,10 +1028,12 @@ impl<P: Protocol> Engine<P> {
                         world: &mut self.world,
                         node: dest.index(),
                     };
+                    // Exactly one receiver: the air record's copy of the
+                    // frame is moved, not cloned.
                     self.protocols[dest.index()].on_packet(
                         &mut api,
                         from,
-                        rec.frame.msg.clone(),
+                        rec.frame.msg,
                         RxKind::Unicast,
                     );
                 } else if let Some(dropped) = self.world.unicast_retry_or_fail(sender) {
@@ -876,6 +1045,11 @@ impl<P: Protocol> Engine<P> {
                 }
             }
         }
+        // Hand the receiver buffer back for the next `TxEnd` — the other
+        // half of the `uncorrupted_receivers` scratch round-trip. Every
+        // exit from the delivery code above passes through here; the
+        // truncated-frame early return happens before the buffer is
+        // taken, so it cannot leak it.
         self.world.rx_scratch = receivers;
     }
 
@@ -903,13 +1077,15 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Engine-global counters: MAC statistics plus anything protocols
-    /// record through [`NodeApi::count`]. Assembled on demand — the MAC
-    /// hot path bumps plain fields, not map entries — so this clones;
-    /// call it once and reuse the result when reading many counters.
-    pub fn counters(&self) -> CounterSet {
-        let mut set = self.world.counters.clone();
-        self.world.hot.fold_into(&mut set);
-        set
+    /// record through [`NodeApi::count`]. The MAC hot path bumps plain
+    /// fields, not map entries; this folds those accumulated deltas
+    /// into the persistent [`CounterSet`] (draining them, so repeated
+    /// calls stay correct) and returns a borrow — no clone of the map
+    /// per snapshot.
+    pub fn counters(&mut self) -> &CounterSet {
+        let hot = std::mem::take(&mut self.world.hot);
+        hot.fold_into(&mut self.world.counters);
+        &self.world.counters
     }
 
     /// The protocol instance of `node`.

@@ -10,7 +10,7 @@
 //!
 //! Answering either with a linear scan costs `O(N)` per query, which is
 //! fine at the paper's 40 nodes and hopeless at city scale. This module
-//! provides two uniform hash grids that cut both to `O(local density)`:
+//! provides two uniform grids that cut both to `O(local density)`:
 //!
 //! * [`NodeGrid`] indexes **nodes** by the cells their current mobility
 //!   leg can touch.
@@ -67,59 +67,10 @@
 //! paths over random scenarios and seeds asserting event-for-event
 //! identical behaviour.
 
-use std::collections::{HashMap, VecDeque};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::VecDeque;
 
 use ag_mobility::Vec2;
 use ag_sim::SimTime;
-
-/// A fast, deterministic hasher for the grid's small integer keys
-/// (cell coordinates, transmission ids), in the spirit of rustc's
-/// FxHash. SipHash's DoS resistance buys nothing here — keys are
-/// engine-generated, not attacker-controlled — and its cost dominated
-/// profile time on the query path. Determinism also means map *state*
-/// is identical across runs (though no engine result depends on
-/// iteration order anyway).
-#[derive(Default)]
-pub(crate) struct FastHasher {
-    hash: u64,
-}
-
-impl FastHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-}
-
-impl Hasher for FastHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.add(u64::from_le_bytes(buf));
-        }
-    }
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add(n);
-    }
-    #[inline]
-    fn write_i64(&mut self, n: i64) {
-        self.add(n as u64);
-    }
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add(n as u64);
-    }
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Dilation applied to leg segments when bucketing and to disk queries,
 /// in metres. Must exceed worst-case position interpolation error
@@ -198,6 +149,8 @@ pub(crate) struct NodeGrid {
     dims: (i64, i64),
     /// The cells each node currently occupies (for O(own cells) removal).
     node_cells: Vec<Vec<Cell>>,
+    /// Total nodes, for sizing fresh bucket capacity floors.
+    nodes: usize,
 }
 
 impl NodeGrid {
@@ -210,8 +163,24 @@ impl NodeGrid {
             buckets: vec![Vec::new()],
             origin: (0, 0),
             dims: (1, 1),
-            node_cells: vec![Vec::new(); n],
+            // A bucketing window spans a cell or two (plus pad
+            // fringe); 8 covers every realistic segment without
+            // rediscovering that capacity node by node.
+            node_cells: (0..n).map(|_| Vec::with_capacity(8)).collect(),
+            nodes: n,
         }
+    }
+
+    /// Capacity floor for a cell bucket in an `n`-node grid of `cells`
+    /// cells: generously above the mean occupancy (`~2n / cells`, a
+    /// moving node's window spans a cell or two), capped at `n`.
+    /// Mobility keeps nudging each cell's occupancy high-water up for
+    /// a long time after start-up; handing every bucket room for a
+    /// dense local cluster up front is a few cells × `u16` of memory
+    /// and keeps the hot path free of the late, rare `Vec` growth
+    /// reallocations it would otherwise see.
+    fn floor_for(n: usize, cells: usize) -> usize {
+        (16 * (2 * n).div_ceil(cells.max(1)) + 8).min(n)
     }
 
     #[inline]
@@ -233,14 +202,21 @@ impl NodeGrid {
             hi.1.max(self.origin.1 + self.dims.1 - 1),
         );
         let new_dims = (new_max.0 - new_origin.0 + 1, new_max.1 - new_origin.1 + 1);
-        let mut buckets = vec![Vec::new(); (new_dims.0 * new_dims.1) as usize];
+        let floor = Self::floor_for(self.nodes, (new_dims.0 * new_dims.1) as usize);
+        let mut buckets: Vec<Vec<u16>> = (0..new_dims.0 * new_dims.1)
+            .map(|_| Vec::with_capacity(floor))
+            .collect();
         for dy in 0..self.dims.1 {
             for dx in 0..self.dims.0 {
                 let old = &mut self.buckets[(dy * self.dims.0 + dx) as usize];
                 if !old.is_empty() {
                     let nx = self.origin.0 + dx - new_origin.0;
                     let ny = self.origin.1 + dy - new_origin.1;
-                    buckets[(ny * new_dims.0 + nx) as usize] = std::mem::take(old);
+                    let mut moved = std::mem::take(old);
+                    if moved.capacity() < floor {
+                        moved.reserve(floor - moved.len());
+                    }
+                    buckets[(ny * new_dims.0 + nx) as usize] = moved;
                 }
             }
         }
@@ -306,6 +282,7 @@ impl NodeGrid {
     /// and run the exact distance test.
     pub fn query_disk(&self, center: Vec2, r: f64, out: &mut Vec<u16>) {
         let (lo, hi) = disk_cells(center, r + GRID_PAD, self.cell);
+        let r_sq = (r + GRID_PAD) * (r + GRID_PAD);
         // Clamp to the dense box: cells outside it are empty.
         let x0 = lo.0.max(self.origin.0);
         let x1 = hi.0.min(self.origin.0 + self.dims.0 - 1);
@@ -313,7 +290,24 @@ impl NodeGrid {
         let y1 = hi.1.min(self.origin.1 + self.dims.1 - 1);
         for cy in y0..=y1 {
             let row = (cy - self.origin.1) * self.dims.0 - self.origin.0;
+            let ny = center
+                .y
+                .clamp(cy as f64 * self.cell, (cy + 1) as f64 * self.cell);
+            let dy_sq = (ny - center.y) * (ny - center.y);
             for cx in x0..=x1 {
+                // Skip cells (the fetch box's corners) whose nearest
+                // point lies beyond the dilated disk: an in-range node's
+                // true position sits on its bucketed segment, so the
+                // cell *containing* that position is in the box and
+                // passes this test — a rejected cell can only hold that
+                // node's duplicate entries, which the caller's dedupe
+                // would discard anyway.
+                let nx = center
+                    .x
+                    .clamp(cx as f64 * self.cell, (cx + 1) as f64 * self.cell);
+                if (nx - center.x) * (nx - center.x) + dy_sq > r_sq {
+                    continue;
+                }
                 out.extend_from_slice(&self.buckets[(row + cx) as usize]);
             }
         }
@@ -346,6 +340,93 @@ struct AirRec {
     live: bool,
 }
 
+/// Fresh air-grid cell buckets start with room for this many
+/// overlapping transmissions; crossing a tiny capacity would otherwise
+/// be a rare late reallocation per cell (the zero-allocation
+/// steady-state gate catches those).
+const AIR_BUCKET_FLOOR: usize = 8;
+
+/// The air index's cell grid: row-major buckets over the axis-aligned
+/// box of every cell transmitted from, like [`NodeGrid`]'s layout. A
+/// dense box beats the hash map it replaced twice over: cell lookups
+/// on the query path are pure index arithmetic, and every bucket in
+/// the box exists (with a capacity floor) from the moment the box
+/// grows — a lazy map kept *creating* buckets in steady state, one
+/// rare allocation per never-before-used sender cell, for as long as
+/// mobility kept finding new cells.
+#[derive(Debug)]
+struct AirGrid {
+    buckets: Vec<Vec<AirRec>>,
+    origin: Cell,
+    dims: (i64, i64),
+}
+
+impl AirGrid {
+    fn new() -> Self {
+        AirGrid {
+            buckets: vec![Vec::with_capacity(AIR_BUCKET_FLOOR)],
+            origin: (0, 0),
+            dims: (1, 1),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, c: Cell) -> Option<usize> {
+        let dx = c.0.wrapping_sub(self.origin.0);
+        let dy = c.1.wrapping_sub(self.origin.1);
+        if dx < 0 || dy < 0 || dx >= self.dims.0 || dy >= self.dims.1 {
+            None
+        } else {
+            Some((dy * self.dims.0 + dx) as usize)
+        }
+    }
+
+    /// Grows the dense box to cover `c`, preserving bucket contents
+    /// and capacities. Rare: the box converges to the mobility field's
+    /// extent shortly after start-up.
+    fn grow_to(&mut self, c: Cell) {
+        let new_origin = (c.0.min(self.origin.0), c.1.min(self.origin.1));
+        let new_max = (
+            c.0.max(self.origin.0 + self.dims.0 - 1),
+            c.1.max(self.origin.1 + self.dims.1 - 1),
+        );
+        let new_dims = (new_max.0 - new_origin.0 + 1, new_max.1 - new_origin.1 + 1);
+        let mut buckets: Vec<Vec<AirRec>> = (0..new_dims.0 * new_dims.1)
+            .map(|_| Vec::with_capacity(AIR_BUCKET_FLOOR))
+            .collect();
+        for dy in 0..self.dims.1 {
+            for dx in 0..self.dims.0 {
+                let old = &mut self.buckets[(dy * self.dims.0 + dx) as usize];
+                let nx = self.origin.0 + dx - new_origin.0;
+                let ny = self.origin.1 + dy - new_origin.1;
+                buckets[(ny * new_dims.0 + nx) as usize] = std::mem::take(old);
+            }
+        }
+        self.buckets = buckets;
+        self.origin = new_origin;
+        self.dims = new_dims;
+    }
+
+    /// The bucket for `c`, growing the box if `c` falls outside it.
+    #[inline]
+    fn bucket_mut(&mut self, c: Cell) -> &mut Vec<AirRec> {
+        if self.slot(c).is_none() {
+            self.grow_to(c);
+        }
+        let s = self.slot(c).expect("air box just grown");
+        &mut self.buckets[s]
+    }
+
+    /// The records bucketed under `c` (empty for cells outside the box).
+    #[inline]
+    fn get(&self, c: Cell) -> &[AirRec] {
+        match self.slot(c) {
+            Some(s) => &self.buckets[s],
+            None => &[],
+        }
+    }
+}
+
 /// Every transmission currently relevant to the channel: a dense slab
 /// of records (plus each live transmission's sender and frame, held in
 /// a parallel vector so the scan path stays compact) and — when spatial
@@ -370,10 +451,15 @@ pub(crate) struct AirIndex<F> {
     /// bucket entries directly instead of resolving each id against the
     /// slab — that resolution would cost O(candidates × slab), worse
     /// than the linear scan the grid is supposed to beat.
-    grid: Option<FastMap<Cell, Vec<AirRec>>>,
+    grid: Option<AirGrid>,
     cell: f64,
     /// Finished records awaiting pruning.
     done_count: usize,
+    /// Records still on the air. Carrier-sense asks "is anything
+    /// audible *now*?", which with zero live transmissions anywhere is
+    /// a guaranteed no — an O(1) answer for the idle-channel common
+    /// case, skipping even the asker's position sample.
+    live_count: usize,
     /// Slab slot of id `first_id + i` at ring position `i`
     /// ([`NO_SLOT`] once removed); the O(1) id→record key.
     slot_ring: VecDeque<u32>,
@@ -392,9 +478,10 @@ impl<F> AirIndex<F> {
         AirIndex {
             recs: Vec::new(),
             frames: Vec::new(),
-            grid: spatial.then(FastMap::default),
+            grid: spatial.then(AirGrid::new),
             cell,
             done_count: 0,
+            live_count: 0,
             slot_ring: VecDeque::new(),
             first_id: 0,
         }
@@ -432,11 +519,12 @@ impl<F> AirIndex<F> {
             live: true,
         };
         if let Some(grid) = &mut self.grid {
-            grid.entry(cell).or_default().push(rec);
+            grid.bucket_mut(cell).push(rec);
         }
         debug_assert!(!self.recs.iter().any(|r| r.id == id), "duplicate tx id");
         self.recs.push(rec);
         self.frames.push(Some(frame));
+        self.live_count += 1;
     }
 
     /// Marks `id` as finished (it keeps corrupting overlapping
@@ -447,9 +535,7 @@ impl<F> AirIndex<F> {
         debug_assert!(self.recs[idx].live, "TxEnd for finished transmission");
         self.recs[idx].live = false;
         if let Some(grid) = &mut self.grid {
-            let bucket = grid
-                .get_mut(&self.recs[idx].cell)
-                .expect("finished tx missing from its cell bucket");
+            let bucket = grid.bucket_mut(self.recs[idx].cell);
             let copy = bucket
                 .iter_mut()
                 .find(|r| r.id == id)
@@ -457,13 +543,23 @@ impl<F> AirIndex<F> {
             copy.live = false;
         }
         self.done_count += 1;
+        self.live_count -= 1;
         let frame = self.frames[idx].take().expect("finished tx lost its frame");
         Some((self.recs[idx].shot, frame))
+    }
+
+    /// `true` while at least one transmission is still on the air.
+    #[inline]
+    pub fn any_live(&self) -> bool {
+        self.live_count > 0
     }
 
     /// The latest time any live transmission audible within `range` of
     /// `pos` stays on the air, or `None` if the medium is free there.
     pub fn busy_until(&self, pos: Vec2, range: f64) -> Option<SimTime> {
+        if self.live_count == 0 {
+            return None;
+        }
         let range_sq = range * range;
         let mut busy: Option<SimTime> = None;
         let mut consider = |r: &AirRec| {
@@ -476,7 +572,7 @@ impl<F> AirIndex<F> {
                 let (lo, hi) = disk_cells(pos, range + GRID_PAD, self.cell);
                 for cx in lo.0..=hi.0 {
                     for cy in lo.1..=hi.1 {
-                        for r in grid.get(&(cx, cy)).map_or(&[] as &[AirRec], |v| v) {
+                        for r in grid.get((cx, cy)) {
                             consider(r);
                         }
                     }
@@ -500,6 +596,29 @@ impl<F> AirIndex<F> {
         self.recs
             .iter()
             .any(|r| r.id != exclude && r.shot.start < end && start < r.shot.end)
+    }
+
+    /// Appends the sender position of every transmission other than
+    /// `exclude` — live or finished — whose airtime overlaps the
+    /// `[start, end)` window to `out`.
+    ///
+    /// One O(slab) pass per `TxEnd` replaces a per-receiver
+    /// [`AirIndex::corrupts`] grid probe: a reception at `rpos` is
+    /// corrupted iff any collected position is within range of `rpos`,
+    /// which each receiver can now answer with a linear scan over the
+    /// (typically tiny) overlap set. Same predicate, same results.
+    pub fn collect_overlapping(
+        &self,
+        exclude: u64,
+        start: SimTime,
+        end: SimTime,
+        out: &mut Vec<Vec2>,
+    ) {
+        for r in &self.recs {
+            if r.id != exclude && r.shot.start < end && start < r.shot.end {
+                out.push(r.shot.pos);
+            }
+        }
     }
 
     /// `true` if any transmission other than `exclude` — live or
@@ -526,7 +645,7 @@ impl<F> AirIndex<F> {
                 let (lo, hi) = disk_cells(at, range + GRID_PAD, self.cell);
                 for cx in lo.0..=hi.0 {
                     for cy in lo.1..=hi.1 {
-                        for r in grid.get(&(cx, cy)).map_or(&[] as &[AirRec], |v| v) {
+                        for r in grid.get((cx, cy)) {
                             if hit(r) {
                                 return true;
                             }
@@ -569,13 +688,12 @@ impl<F> AirIndex<F> {
                     self.first_id += 1;
                 }
                 if let Some(grid) = &mut self.grid {
-                    if let Some(v) = grid.get_mut(&r.cell) {
-                        if let Some(j) = v.iter().position(|x| x.id == r.id) {
-                            v.swap_remove(j);
-                        }
-                        if v.is_empty() {
-                            grid.remove(&r.cell);
-                        }
+                    // Emptied buckets keep their capacity: senders are
+                    // stationary per transmission, so the same cells
+                    // fill again immediately.
+                    let v = grid.bucket_mut(r.cell);
+                    if let Some(j) = v.iter().position(|x| x.id == r.id) {
+                        v.swap_remove(j);
                     }
                 }
             } else {

@@ -142,28 +142,50 @@ impl ReceptionModel {
                 sigma_db,
                 path_loss_exp,
             } => {
-                // Static, reciprocal per-link gain: key on the
-                // unordered node pair only.
-                let (a, b) = if sender <= receiver {
-                    (sender, receiver)
-                } else {
-                    (receiver, sender)
-                };
-                let key = splitmix64(
-                    channel_seed
-                        ^ (((a as u64) << 16) | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                let eff_sq = shadow_eff_range_sq(
+                    channel_seed,
+                    sender,
+                    receiver,
+                    sigma_db,
+                    path_loss_exp,
+                    range_m,
                 );
-                // Box–Muller from two hash-derived uniforms (u1 kept
-                // strictly positive for the log).
-                let u1 = unit_uniform(splitmix64(key)).max(f64::MIN_POSITIVE);
-                let u2 = unit_uniform(splitmix64(key ^ 0x6C62_272E_07BB_0142));
-                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                let gain_db = (sigma_db * z).min(0.0);
-                let eff_range = range_m * 10f64.powf(gain_db / (10.0 * path_loss_exp));
-                dist_sq <= eff_range * eff_range
+                dist_sq <= eff_sq
             }
         }
     }
+}
+
+/// The squared effective range of the shadowing model for one link.
+///
+/// Static and reciprocal: keyed on the unordered node pair only, never
+/// on the transmission — which is what lets the engine memoize the
+/// result per link instead of redoing the Box–Muller transform (`ln`,
+/// `sqrt`, `cos`, `powf`) on every reception.
+pub(crate) fn shadow_eff_range_sq(
+    channel_seed: u64,
+    sender: u16,
+    receiver: u16,
+    sigma_db: f64,
+    path_loss_exp: f64,
+    range_m: f64,
+) -> f64 {
+    let (a, b) = if sender <= receiver {
+        (sender, receiver)
+    } else {
+        (receiver, sender)
+    };
+    let key = splitmix64(
+        channel_seed ^ (((a as u64) << 16) | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    // Box–Muller from two hash-derived uniforms (u1 kept strictly
+    // positive for the log).
+    let u1 = unit_uniform(splitmix64(key)).max(f64::MIN_POSITIVE);
+    let u2 = unit_uniform(splitmix64(key ^ 0x6C62_272E_07BB_0142));
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let gain_db = (sigma_db * z).min(0.0);
+    let eff_range = range_m * 10f64.powf(gain_db / (10.0 * path_loss_exp));
+    eff_range * eff_range
 }
 
 /// Per-node radio churn: alternating up/down periods with exponentially

@@ -71,6 +71,13 @@ pub type TimerKey = u64;
 ///
 /// The engine only needs to know a payload's serialized size to compute
 /// airtime; it never actually serializes anything.
+///
+/// **Cheap-clone contract:** the engine clones a payload once when it
+/// goes on the air and once per broadcast receiver, so `Clone` sits on
+/// the hot path. Payloads carrying heap data (a `Vec` of records, say)
+/// should wrap it in `Arc` so those clones are refcount bumps rather
+/// than deep copies — see `AgMsg` in `ag-core` for the idiom. `Copy`
+/// payloads and small plain structs are fine as-is.
 pub trait Message: Clone + fmt::Debug + Send + 'static {
     /// Size of the payload on the wire, in bytes, *excluding* the MAC
     /// header (the PHY adds that).

@@ -1,6 +1,6 @@
 //! The ODMRP node: soft-state mesh multicast.
 
-use std::collections::HashMap;
+use ag_sim::hash::DetHashMap as HashMap;
 
 use ag_maodv::delivery::{DeliveryLog, DeliveryPath};
 use ag_maodv::seen::SeenCache;
@@ -88,7 +88,7 @@ impl OdmrpProtocol {
             fg_until: SimTime::ZERO,
             query_round: 0,
             data_seq: 0,
-            back_routes: HashMap::new(),
+            back_routes: HashMap::default(),
             query_seen: SeenCache::new(cfg.seen_capacity),
             reply_sent: SeenCache::new(cfg.seen_capacity),
             data_seen: SeenCache::new(cfg.seen_capacity),

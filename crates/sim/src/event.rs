@@ -29,11 +29,14 @@
 //!
 //! Tuning is automatic and **deterministic**: when the population doubles
 //! past two events per bucket (or collapses below a quarter), the queue
-//! resizes the ring and re-derives the day width from the mean gap
-//! between pending timestamps — a pure function of queue content, never
-//! of wall clock, so replaying the same schedule sequence always rebuilds
-//! the same calendar. Retired bucket slabs are kept in a spare pool and
-//! reused across resizes; steady-state operation allocates nothing.
+//! resizes the ring and re-derives the day width from the mean gap of a
+//! *head sample* of the pending timestamps (the global mean would be
+//! skewed arbitrarily wide by a few far-horizon timers) — a pure
+//! function of queue content, never of wall clock, so replaying the same
+//! schedule sequence always rebuilds the same calendar. Retired bucket
+//! slabs are kept in a spare pool and reused across resizes;
+//! steady-state operation allocates nothing (the `ag-bench` zero-alloc
+//! regression test pins this down).
 //!
 //! # Ordering guarantee
 //!
@@ -84,6 +87,16 @@ const MAX_SHIFT: u32 = 42;
 const INITIAL_SHIFT: u32 = 20;
 /// Retired bucket slabs kept for reuse across resizes.
 const SPARE_CAP: usize = MAX_BUCKETS / 4;
+/// Sorted head entries sampled to derive the day width on resize.
+const HEAD_SAMPLE: usize = 64;
+/// Pops between day-width drift checks. Resizes are driven by
+/// *population* thresholds, so a queue whose population is steady but
+/// whose event *rate* has drifted since the last resize (e.g. a startup
+/// transient tuned wide days before MAC traffic ramped up) would keep a
+/// stale day width forever. Every this-many pops the queue compares the
+/// observed mean pop gap against the current day width and forces a
+/// retune when they disagree by 4x or more.
+const RETUNE_POPS: u64 = 1 << 15;
 
 /// Location and key of the earliest pending entry. Buckets are sorted,
 /// so the entry itself always sits at the *front* of `bucket`.
@@ -137,6 +150,8 @@ pub struct EventQueue<E> {
     spare: Vec<VecDeque<EventEntry<E>>>,
     /// Reused staging area for the one sort a resize performs.
     scratch: Vec<EventEntry<E>>,
+    /// `(popped, time)` at the last day-width drift check.
+    retune_mark: (u64, SimTime),
 }
 
 impl<E> EventQueue<E> {
@@ -153,6 +168,7 @@ impl<E> EventQueue<E> {
             cached_min: None,
             spare: Vec::new(),
             scratch: Vec::new(),
+            retune_mark: (0, SimTime::ZERO),
         }
     }
 
@@ -190,7 +206,7 @@ impl<E> EventQueue<E> {
             self.cached_min = Some(MinPos { time, seq, bucket });
         }
         if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
-            self.resize();
+            self.resize(None);
         }
     }
 
@@ -209,8 +225,31 @@ impl<E> EventQueue<E> {
         // Stay on the popped entry's day: its siblings drain next.
         self.cursor_day = m.time.as_nanos() >> self.shift;
         if self.len > 0 {
-            if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
-                self.resize();
+            // Day-width drift check (see `RETUNE_POPS`): compare the
+            // mean gap actually drained against the current day width
+            // and retune when they disagree by two octaves. Pure
+            // function of the popped sequence, so replays retune
+            // identically.
+            let mut drift = None;
+            if self.popped - self.retune_mark.0 >= RETUNE_POPS {
+                let span = m
+                    .time
+                    .as_nanos()
+                    .saturating_sub(self.retune_mark.1.as_nanos());
+                let gap = (span / RETUNE_POPS).max(1);
+                let ideal = gap.ilog2().clamp(MIN_SHIFT, MAX_SHIFT);
+                self.retune_mark = (self.popped, m.time);
+                if ideal.abs_diff(self.shift) >= 2 {
+                    // Rebucket under the drained-rate day width
+                    // directly: re-deriving from the pending head
+                    // could land wide again (and thrash the check).
+                    drift = Some(ideal);
+                }
+            }
+            if drift.is_some() {
+                self.resize(drift);
+            } else if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+                self.resize(None);
             } else {
                 self.recompute_min();
             }
@@ -304,7 +343,9 @@ impl<E> EventQueue<E> {
     }
 
     /// Rebuilds the ring for the current population: bucket count from
-    /// `len`, day width from the mean gap between pending timestamps.
+    /// `len`, day width from the mean gap of a head sample of the
+    /// pending timestamps — unless `shift_override` supplies one (the
+    /// drift retune passes the width derived from the drained rate).
     /// Pure function of queue content — replaying the same operation
     /// sequence always rebuilds the same calendar. Caller guarantees
     /// `len > 0`.
@@ -314,32 +355,71 @@ impl<E> EventQueue<E> {
     /// appends to each target bucket in sorted order, so per-bucket
     /// ordering comes out of a single `O(n log n)` pass instead of `n`
     /// binary-searched inserts.
-    fn resize(&mut self) {
+    fn resize(&mut self, shift_override: Option<u32>) {
         debug_assert!(self.len > 0, "resize on empty queue");
         let nb = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
-        let mut old = std::mem::take(&mut self.buckets);
+        let mut ring = std::mem::take(&mut self.buckets);
         self.scratch.reserve(self.len);
-        for bucket in &mut old {
+        for bucket in &mut ring {
             self.scratch.extend(bucket.drain(..));
         }
         self.scratch.sort_unstable_by_key(|e| (e.time, e.seq));
         let min_t = self.scratch[0].time.as_nanos();
         let max_t = self.scratch[self.len - 1].time.as_nanos();
-        let avg_gap = ((max_t - min_t) / self.len as u64).max(1);
-        let shift = avg_gap.ilog2().clamp(MIN_SHIFT, MAX_SHIFT);
-        self.buckets = (0..nb)
-            .map(|_| self.spare.pop().unwrap_or_default())
-            .collect();
-        for bucket in old {
+        // Day width from the mean gap of a *head sample* of the sorted
+        // schedule, not the global span. A handful of far-horizon
+        // timers (waypoint pauses, long protocol timeouts) would
+        // stretch the global mean by orders of magnitude and widen
+        // days until every short-horizon MAC event piles into the one
+        // bucket under the cursor — which both degrades scans and
+        // means the drain cursor keeps entering cold, never-touched
+        // buckets that must grow from zero capacity. Brown's original
+        // tuning samples near the queue head for the same reason. A
+        // head of exact ties (gap 0) says nothing about spacing, so
+        // fall back to the global mean gap in that case.
+        let shift = shift_override.unwrap_or_else(|| {
+            let sample = self.len.min(HEAD_SAMPLE);
+            let head_span = self.scratch[sample - 1].time.as_nanos() - min_t;
+            let avg_gap = if sample >= 2 && head_span > 0 {
+                (head_span / (sample as u64 - 1)).max(1)
+            } else {
+                ((max_t - min_t) / self.len as u64).max(1)
+            };
+            avg_gap.ilog2().clamp(MIN_SHIFT, MAX_SHIFT)
+        });
+        // Retire the drained slabs so the rebuilt ring reuses their
+        // warm capacity immediately; the ring vector itself is reused
+        // in place, so a steady-state resize allocates nothing.
+        while let Some(bucket) = ring.pop() {
             if self.spare.len() < SPARE_CAP {
                 self.spare.push(bucket);
             }
         }
+        ring.extend((0..nb).map(|_| self.spare.pop().unwrap_or_default()));
+        self.buckets = ring;
         self.mask = (nb - 1) as u64;
         self.shift = shift;
         for e in self.scratch.drain(..) {
             let b = ((e.time.as_nanos() >> shift) & self.mask) as usize;
             self.buckets[b].push_back(e);
+        }
+        // Capacity floor per slab: a bucket must ride out transient
+        // same-day bursts (a broadcast's per-receiver deliveries plus
+        // the MAC re-arms they trigger) without growing. Discovering
+        // that high-water bucket-by-bucket is a coupon-collector tail
+        // of rare reallocations spread over the whole run; paying a
+        // few entries per slab up front ends it at the (rare) resizes.
+        let floor = if nb <= 2048 {
+            32
+        } else if nb <= 16_384 {
+            8
+        } else {
+            4
+        };
+        for b in &mut self.buckets {
+            if b.capacity() < floor {
+                b.reserve(floor - b.len());
+            }
         }
         self.cursor_day = min_t >> shift;
         self.recompute_min();

@@ -1,0 +1,143 @@
+//! Deterministic hashing for simulation-side maps.
+//!
+//! `std`'s default `RandomState` draws fresh SipHash keys per process.
+//! That never changes simulation *results* here — every protocol is
+//! written to be iteration-order independent, and the golden snapshots
+//! prove it across processes — but it does change map iteration order,
+//! and with it the exact *allocation pattern* of anything that grows
+//! while folding over a map. The perf trajectory gates allocation
+//! counts as exact integers (see `docs/BENCHMARKS.md`), so run-to-run
+//! wobble of even a handful of allocations would make that gate flaky.
+//!
+//! The fix is a fixed-key hasher: same map behaviour every process,
+//! and cheaper per write than SipHash (hash-flooding resistance buys
+//! nothing against a workload we generate ourselves). Protocol tables
+//! use the [`DetHashMap`]/[`DetHashSet`] aliases instead of the std
+//! defaults.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An FxHash-style multiply-rotate hasher with no per-process state.
+///
+/// The mixing constant is the 64-bit golden-ratio multiplier; each
+/// written word is folded in with a rotate-xor-multiply step. Quality
+/// is ample for the small integer and tuple keys the protocol tables
+/// use, and hashing stays a few instructions per word.
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+/// 2^64 / φ, the usual Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low-entropy keys spread into the high
+        // bits hashbrown derives its control bytes from.
+        let mut z = self.0;
+        z ^= z >> 32;
+        z = z.wrapping_mul(SEED);
+        z ^ (z >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" + "c" and "a" + "bc" differ.
+            self.fold(u64::from_le_bytes(word) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) producing [`FastHasher`]s —
+/// identical in every process.
+pub type DetBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` with deterministic, per-process-stable hashing.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetBuildHasher>;
+
+/// A `HashSet` with deterministic, per-process-stable hashing.
+pub type DetHashSet<K> = std::collections::HashSet<K, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        DetBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_distinct_keys_spread() {
+        assert_eq!(hash_of(&(7u32, 9u32)), hash_of(&(7u32, 9u32)));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(&i));
+        }
+        // Sequential integers must not collapse onto few hashes.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_chunking_is_length_prefixed() {
+        let mut a = FastHasher::default();
+        a.write(b"ab");
+        a.write(b"c");
+        let mut b = FastHasher::default();
+        b.write(b"a");
+        b.write(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_iteration_order_is_reproducible() {
+        let collect = || {
+            let mut m = DetHashMap::default();
+            for i in 0..1000u32 {
+                m.insert(i, i * 2);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -40,6 +40,7 @@
 mod event;
 mod time;
 
+pub mod hash;
 pub mod reference;
 pub mod rng;
 pub mod stats;
