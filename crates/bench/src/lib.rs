@@ -16,7 +16,7 @@
 
 use ag_harness::Scenario;
 use ag_mobility::{Field, Mobility, PauseRange, RandomWaypoint, SpeedRange};
-use ag_net::{Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, RxKind, TimerKey};
+use ag_net::{Engine, Message, NodeId, NodeSetup, PhyParams, ProtoCtx, Protocol, RxKind, TimerKey};
 use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::SimDuration;
 
@@ -49,6 +49,7 @@ impl Message for BeaconMsg {
 /// A minimal broadcast-beacon protocol used to measure *engine*
 /// throughput (receiver scans, collision checks, mobility rebucketing)
 /// without any routing-layer cost on top.
+#[derive(Debug)]
 pub struct Beacon {
     interval: SimDuration,
     /// Broadcasts heard, across all senders.
@@ -65,16 +66,16 @@ impl Beacon {
 impl Protocol for Beacon {
     type Msg = BeaconMsg;
 
-    fn start(&mut self, api: &mut NodeApi<'_, BeaconMsg>) {
+    fn start<C: ProtoCtx<BeaconMsg>>(&mut self, api: &mut C) {
         // Stagger first beacons so the whole network doesn't key up at
         // one instant.
         let offset = SimDuration::from_millis(3 * (api.id().raw() as u64 + 1));
         api.set_timer(offset, 0);
     }
 
-    fn on_packet(
+    fn on_packet<C: ProtoCtx<BeaconMsg>>(
         &mut self,
-        _api: &mut NodeApi<'_, BeaconMsg>,
+        _api: &mut C,
         _f: NodeId,
         _m: BeaconMsg,
         _r: RxKind,
@@ -82,12 +83,13 @@ impl Protocol for Beacon {
         self.heard += 1;
     }
 
-    fn on_timer(&mut self, api: &mut NodeApi<'_, BeaconMsg>, _key: TimerKey) {
+    fn on_timer<C: ProtoCtx<BeaconMsg>>(&mut self, api: &mut C, _key: TimerKey) {
         api.broadcast(BeaconMsg);
         api.set_timer(self.interval, 0);
     }
 
-    fn on_send_failure(&mut self, _api: &mut NodeApi<'_, BeaconMsg>, _t: NodeId, _m: BeaconMsg) {}
+    fn on_send_failure<C: ProtoCtx<BeaconMsg>>(&mut self, _api: &mut C, _t: NodeId, _m: BeaconMsg) {
+    }
 }
 
 /// A mobile beaconing network at constant node density: `n` random-

@@ -1,0 +1,43 @@
+//! # ag-check: exhaustive model checking of the protocol cores
+//!
+//! The workspace's protocol implementations (gossip, MAODV, ODMRP) are
+//! written against the pure [`ag_net::ProtoCtx`] facade: every handler
+//! is a `transition(state, action) -> (state, effects)` function whose
+//! only nondeterminism is *named random choices*. This crate runs the
+//! **exact same monomorphized protocol code** that executes under
+//! `ag_net::Engine` inside two other harnesses:
+//!
+//! 1. **Explicit-state model checking** ([`net::NetModel`] +
+//!    [`explore()`] + [`logic`]): small-N abstract networks where frame
+//!    delivery order, budgeted loss, budgeted radio churn, timer ties
+//!    and every named choice branch nondeterministically. Temporal
+//!    properties (`always` / `eventually` / `leads_to`) are decided
+//!    over the full reachable graph with lasso-shaped counterexamples.
+//! 2. **Engine-trace conformance** ([`replay`]): a recorded engine run
+//!    (`Engine::new_traced`) is replayed choice-for-choice through the
+//!    facade, asserting lockstep state-digest equality — the proof
+//!    that the model the checker explores *is* the code the simulator
+//!    runs.
+//!
+//! Everything is implemented in-workspace (no external model-checking
+//! dependency), mirroring the vendored-shim policy in `vendor/`.
+//! See `docs/MODEL_CHECKING.md` for the checked configurations, the
+//! property definitions, state-space sizes and the counterexample
+//! format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod logic;
+pub mod machine;
+pub mod net;
+pub mod replay;
+
+pub use explore::{explore, state_key, Exploration, Limits};
+pub use logic::{
+    always, eventually, exists, leads_to, render_counterexample, Counterexample, Verdict,
+};
+pub use machine::Machine;
+pub use net::{NetAction, NetModel, NetState};
+pub use replay::{replay_trace, ReplayCtx};

@@ -1,0 +1,35 @@
+//! The transition-system abstraction the checker explores.
+
+use std::fmt;
+
+/// A finite(ly explorable) nondeterministic transition system:
+/// `transition(state, action) -> state` plus an enumerator of the
+/// actions (with all their internal random choices resolved) enabled in
+/// a state.
+///
+/// [`successors`](Machine::successors) returns each enabled action
+/// *paired with* the state it produces, because enumerating an action
+/// (running a protocol handler to discover its choice points) already
+/// computes the successor. [`step`](Machine::step) re-applies a single
+/// recorded action deterministically; the explorer uses it to
+/// materialize counterexample traces without storing every explored
+/// state.
+pub trait Machine {
+    /// A full world state. `Debug` is the canonical form the visited
+    /// set hashes (see [`state_key`](crate::explore::state_key)).
+    type State: Clone + fmt::Debug;
+    /// One resolved transition label (deterministic given the state).
+    type Action: Clone + fmt::Debug;
+
+    /// The unique initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Every `(action, successor)` pair enabled in `state`, in a
+    /// deterministic order. An empty result marks a terminal state.
+    fn successors(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)>;
+
+    /// Re-applies one action returned by [`Machine::successors`] for
+    /// this (or an equal) state. Must reproduce the paired successor
+    /// exactly.
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+}

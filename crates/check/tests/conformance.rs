@@ -1,0 +1,135 @@
+//! Engine-trace conformance: the model the checker explores is the
+//! code the simulator runs.
+//!
+//! Each test builds a small engine simulation with tracing enabled,
+//! runs it, then replays the recorded dispatch/choice log through
+//! fresh protocol instances via the pure [`ProtoCtx`] facade —
+//! asserting state-digest equality after **every single dispatch**.
+//! Any drift between what runs under `ag_net::Engine` and what the
+//! model checker executes (an unrecorded RNG draw, a handler peeking
+//! at ambient state) fails here with the exact divergent step.
+
+use ag_check::replay_trace;
+use ag_core::{AgConfig, AnonymousGossip};
+use ag_maodv::{GroupId, MaodvConfig, MaodvProtocol, TrafficSource};
+use ag_mobility::{Stationary, Vec2};
+use ag_net::{Engine, NodeId, NodeSetup, PhyParams};
+use ag_odmrp::{OdmrpConfig, OdmrpProtocol};
+use ag_sim::{SimDuration, SimTime};
+
+/// Five stationary nodes on a line, 40 m apart (75 m radio range, so
+/// only adjacent nodes hear each other).
+fn line_positions(n: u16) -> Vec<Box<dyn ag_mobility::Mobility>> {
+    (0..n)
+        .map(|i| {
+            Box::new(Stationary::new(Vec2::new(40.0 * f64::from(i), 0.0)))
+                as Box<dyn ag_mobility::Mobility>
+        })
+        .collect()
+}
+
+#[test]
+fn maodv_trace_replays_through_the_facade() {
+    let cfg = MaodvConfig::paper_default();
+    let g = GroupId(0);
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(30),
+        SimDuration::from_millis(200),
+        20,
+        64,
+    );
+    let build = |i: u16| {
+        MaodvProtocol::new(
+            cfg,
+            NodeId::new(i),
+            g,
+            i == 0 || i == 4,
+            (i == 0).then_some(traffic),
+        )
+    };
+    let nodes = line_positions(5)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mobility)| NodeSetup {
+            mobility,
+            protocol: build(i as u16),
+        })
+        .collect();
+    let mut e = Engine::new_traced(PhyParams::paper_default(75.0), 7, nodes);
+    e.run_until(SimTime::from_secs(40));
+    let trace = e.take_trace();
+
+    let mut fresh: Vec<MaodvProtocol> = (0..5).map(build).collect();
+    let steps = replay_trace(&mut fresh, &trace);
+    println!("maodv conformance: {steps} dispatches replayed in lockstep");
+    assert!(steps > 500, "trace suspiciously short: {steps}");
+}
+
+#[test]
+fn odmrp_trace_replays_through_the_facade() {
+    let cfg = OdmrpConfig::default_paper();
+    let g = GroupId(0);
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(10),
+        SimDuration::from_millis(200),
+        20,
+        64,
+    );
+    let build =
+        |i: u16| OdmrpProtocol::new(cfg, NodeId::new(i), g, i != 2, (i == 0).then_some(traffic));
+    let nodes = line_positions(5)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mobility)| NodeSetup {
+            mobility,
+            protocol: build(i as u16),
+        })
+        .collect();
+    let mut e = Engine::new_traced(PhyParams::paper_default(75.0), 11, nodes);
+    e.run_until(SimTime::from_secs(20));
+    let trace = e.take_trace();
+
+    let mut fresh: Vec<OdmrpProtocol> = (0..5).map(build).collect();
+    let steps = replay_trace(&mut fresh, &trace);
+    println!("odmrp conformance: {steps} dispatches replayed in lockstep");
+    assert!(steps > 200, "trace suspiciously short: {steps}");
+}
+
+#[test]
+fn gossip_trace_replays_through_the_facade() {
+    let cfg = AgConfig::paper_default();
+    let maodv_cfg = MaodvConfig::paper_default();
+    let g = GroupId(0);
+    let traffic = TrafficSource::compact(
+        SimTime::from_secs(30),
+        SimDuration::from_millis(200),
+        30,
+        64,
+    );
+    let build = |i: u16| {
+        AnonymousGossip::new(
+            cfg,
+            maodv_cfg,
+            NodeId::new(i),
+            g,
+            i == 0 || i == 4,
+            (i == 0).then_some(traffic),
+        )
+    };
+    let nodes = line_positions(5)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mobility)| NodeSetup {
+            mobility,
+            protocol: build(i as u16),
+        })
+        .collect();
+    let mut e = Engine::new_traced(PhyParams::paper_default(75.0), 23, nodes);
+    e.run_until(SimTime::from_secs(45));
+    let trace = e.take_trace();
+
+    let mut fresh: Vec<AnonymousGossip> = (0..5).map(build).collect();
+    let steps = replay_trace(&mut fresh, &trace);
+    println!("gossip conformance: {steps} dispatches replayed in lockstep");
+    assert!(steps > 500, "trace suspiciously short: {steps}");
+}

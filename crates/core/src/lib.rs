@@ -29,8 +29,11 @@
 //! answering), both bounded exactly as §4.4 describes.
 //!
 //! [`AnonymousGossip`] is the full node stack ([`ag_net::Protocol`]
-//! implementation) used by the examples, the experiment harness and the
-//! benchmarks.
+//! implementation) used by the examples, the experiment harness, the
+//! benchmarks and the `ag-check` model checker (handlers are written
+//! against the pure [`ag_net::ProtoCtx`] facade, so the identical code
+//! runs under the engine and the exhaustive explorer — see
+//! `docs/MODEL_CHECKING.md`).
 //!
 //! # Example
 //!

@@ -107,14 +107,31 @@ impl MemberCache {
         }
     }
 
-    /// Picks a uniformly random cached member other than `exclude`.
+    /// Picks a uniformly random cached member other than `exclude`,
+    /// drawing from a raw RNG. The protocol path goes through
+    /// [`MemberCache::pick_via`] instead (so the draw is a named
+    /// `ProtoCtx` choice); this convenience remains for benchmarks and
+    /// direct library use.
     pub fn pick_random<R: Rng + ?Sized>(&self, rng: &mut R, exclude: NodeId) -> Option<CacheEntry> {
+        self.pick_via(exclude, |n| rng.random_range(0..n))
+    }
+
+    /// Like [`MemberCache::pick_random`], but the caller supplies the
+    /// uniform index draw — a `ProtoCtx::pick_index` named choice, so
+    /// the selection is enumerable by the model checker and replayable
+    /// by the conformance harness. `choose` runs only when at least one
+    /// eligible entry exists, and receives the eligible count.
+    pub fn pick_via(
+        &self,
+        exclude: NodeId,
+        choose: impl FnOnce(usize) -> usize,
+    ) -> Option<CacheEntry> {
         let eligible: Vec<&CacheEntry> =
             self.entries.iter().filter(|e| e.node != exclude).collect();
         if eligible.is_empty() {
             return None;
         }
-        Some(*eligible[rng.random_range(0..eligible.len())])
+        Some(*eligible[choose(eligible.len())])
     }
 
     /// Drops `member` from the cache (e.g. repeated unreachability).

@@ -9,11 +9,11 @@
 use std::sync::Arc;
 
 use ag_maodv::delivery::{DeliveryLog, DeliveryPath};
-use ag_maodv::{GroupId, Maodv, MaodvConfig, MaodvMsg, TrafficSource, Upcall, TIMER_USER_BASE};
-use ag_net::{NodeApi, NodeId, Protocol, RxKind, TimerKey};
+use ag_maodv::{
+    GroupId, Maodv, MaodvConfig, MaodvCtx, MaodvMsg, TrafficSource, Upcall, TIMER_USER_BASE,
+};
+use ag_net::{NodeId, Protocol, RxKind, TimerKey};
 use ag_sim::{SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 use crate::message::{AgMsg, GossipReply, GossipRequest, PacketId, PacketRecord};
 use crate::{AgConfig, GossipMetrics, HistoryTable, LostTable, MemberCache};
@@ -23,37 +23,29 @@ const TIMER_GOSSIP: TimerKey = TIMER_USER_BASE;
 /// Timer: CBR traffic source.
 const TIMER_TRAFFIC: TimerKey = TIMER_USER_BASE + 1;
 
-type Api<'a> = NodeApi<'a, MaodvMsg<AgMsg>>;
-
 /// Picks a next hop from `(node, nearest_member)` candidates, weighting
 /// toward smaller member distances with weight `1 / nearest_member`
 /// (§4.2), or uniformly when `locality` is off.
-fn weighted_pick(
+///
+/// The selection is a single [`ProtoCtx`] named choice
+/// ([`ProtoCtx::pick_weighted`] / [`ProtoCtx::pick_index`]), so the
+/// engine draws exactly the values the pre-facade code drew while the
+/// model checker enumerates every candidate.
+fn weighted_pick<C: MaodvCtx<AgMsg>>(
     candidates: &[(NodeId, u8)],
     locality: bool,
-    rng: &mut SmallRng,
+    ctx: &mut C,
 ) -> Option<NodeId> {
     if candidates.is_empty() {
         return None;
     }
-    if !locality {
-        return Some(candidates[rng.random_range(0..candidates.len())].0);
-    }
-    // Two passes instead of a collected weight buffer: the sum visits
-    // the weights in the same order the old `Vec` did and the walk
-    // recomputes the same values, so the single RNG draw and every
-    // comparison are bit-identical to the allocating version.
-    let weight = |nm: u8| 1.0 / f64::from(nm.max(1));
-    let total: f64 = candidates.iter().map(|&(_, nm)| weight(nm)).sum();
-    let mut draw = rng.random_range(0.0..total);
-    for &(node, nm) in candidates {
-        let w = weight(nm);
-        if draw < w {
-            return Some(node);
-        }
-        draw -= w;
-    }
-    Some(candidates[candidates.len() - 1].0)
+    let picked = if locality {
+        let weight = |i: usize| 1.0 / f64::from(candidates[i].1.max(1));
+        ctx.pick_weighted(candidates.len(), weight)
+    } else {
+        ctx.pick_index(candidates.len())
+    };
+    Some(candidates[picked].0)
 }
 
 /// Chooses what a member puts into a gossip reply (§4.4 pull):
@@ -129,7 +121,7 @@ pub(crate) fn select_reply_packets(
 /// e.run_until(SimTime::from_secs(40));
 /// assert_eq!(e.protocol(NodeId::new(1)).delivery().distinct(), 20);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AnonymousGossip {
     cfg: AgConfig,
     maodv: Maodv<AgMsg>,
@@ -239,7 +231,11 @@ impl AnonymousGossip {
         new
     }
 
-    fn process_upcalls(&mut self, api: &mut Api<'_>, upcalls: &mut Vec<Upcall<AgMsg>>) {
+    fn process_upcalls<C: MaodvCtx<AgMsg>>(
+        &mut self,
+        api: &mut C,
+        upcalls: &mut Vec<Upcall<AgMsg>>,
+    ) {
         for up in upcalls.drain(..) {
             match up {
                 Upcall::DataReceived {
@@ -290,14 +286,11 @@ impl AnonymousGossip {
 
     /// One §4 gossip round: anonymous with probability `p_anon`, cached
     /// otherwise; each falls back to the other when impossible.
-    fn gossip_round(&mut self, api: &mut Api<'_>) {
+    fn gossip_round<C: MaodvCtx<AgMsg>>(&mut self, api: &mut C) {
         if !self.maodv.is_member() {
             return;
         }
-        let want_anon = {
-            let rng = api.rng();
-            rng.random_bool(self.cfg.p_anon)
-        };
+        let want_anon = api.chance(self.cfg.p_anon);
         let anon_target = {
             self.cand_scratch.clear();
             self.cand_scratch.extend(
@@ -306,11 +299,11 @@ impl AnonymousGossip {
                     .enabled()
                     .map(|h| (h.node, h.nearest_member)),
             );
-            weighted_pick(&self.cand_scratch, self.cfg.locality_weighting, api.rng())
+            weighted_pick(&self.cand_scratch, self.cfg.locality_weighting, api)
         };
         let cached_target = {
             let me = self.maodv.id();
-            self.cache.pick_random(api.rng(), me)
+            self.cache.pick_via(me, |n| api.pick_index(n))
         };
         let req = self.build_request(0, self.cfg.gossip_ttl);
         match (want_anon, anon_target, cached_target) {
@@ -334,7 +327,12 @@ impl AnonymousGossip {
     }
 
     /// A request walking the tree arrived from `from` (§4.1 step flow).
-    fn handle_walking_request(&mut self, api: &mut Api<'_>, from: NodeId, r: Arc<GossipRequest>) {
+    fn handle_walking_request<C: MaodvCtx<AgMsg>>(
+        &mut self,
+        api: &mut C,
+        from: NodeId,
+        r: Arc<GossipRequest>,
+    ) {
         if r.initiator == self.maodv.id() {
             // The walk came back around; nothing useful to do.
             self.metrics.requests_dropped += 1;
@@ -344,7 +342,7 @@ impl AnonymousGossip {
         // accepting member unicast its reply without route discovery.
         self.maodv
             .note_route(api.now(), r.initiator, from, r.hops.saturating_add(1));
-        let accept = self.maodv.is_member() && api.rng().random_bool(self.cfg.p_accept);
+        let accept = self.maodv.is_member() && api.chance(self.cfg.p_accept);
         if accept {
             self.metrics.requests_accepted += 1;
             self.cache
@@ -366,7 +364,7 @@ impl AnonymousGossip {
                     .filter(|h| h.node != from && h.node != initiator)
                     .map(|h| (h.node, h.nearest_member)),
             );
-            weighted_pick(&self.cand_scratch, self.cfg.locality_weighting, api.rng())
+            weighted_pick(&self.cand_scratch, self.cfg.locality_weighting, api)
         };
         match next {
             Some(next) => {
@@ -397,7 +395,7 @@ impl AnonymousGossip {
 
     /// §4.4 pull: look up everything the initiator asked for (plus tail
     /// recovery past its expected sequence numbers) and unicast it back.
-    fn answer_request(&mut self, api: &mut Api<'_>, r: &GossipRequest) {
+    fn answer_request<C: MaodvCtx<AgMsg>>(&mut self, api: &mut C, r: &GossipRequest) {
         let packets = select_reply_packets(&self.history, r, &self.cfg);
         if packets.is_empty() {
             api.count("ag.reply_empty");
@@ -418,7 +416,7 @@ impl AnonymousGossip {
 
     /// A gossip reply arrived: deliver anything new (this is the paper's
     /// loss recovery) and measure goodput.
-    fn handle_reply(&mut self, api: &mut Api<'_>, rep: Arc<GossipReply>, hops: u8) {
+    fn handle_reply<C: MaodvCtx<AgMsg>>(&mut self, api: &mut C, rep: Arc<GossipReply>, hops: u8) {
         self.cache.observe(rep.responder, hops, api.now());
         for &p in &rep.packets {
             self.metrics.reply_packets_received += 1;
@@ -442,13 +440,11 @@ impl AnonymousGossip {
 impl Protocol for AnonymousGossip {
     type Msg = MaodvMsg<AgMsg>;
 
-    fn start(&mut self, api: &mut Api<'_>) {
+    fn start<C: MaodvCtx<AgMsg>>(&mut self, api: &mut C) {
         self.maodv.start(api);
         if self.maodv.is_member() {
-            let jitter = SimDuration::from_nanos(
-                api.rng()
-                    .random_range(0..self.cfg.gossip_interval.as_nanos().max(1)),
-            );
+            let jitter =
+                SimDuration::from_nanos(api.jitter(self.cfg.gossip_interval.as_nanos().max(1)));
             api.set_timer(self.cfg.gossip_interval + jitter, TIMER_GOSSIP);
         }
         if let Some(t) = self.traffic {
@@ -456,7 +452,13 @@ impl Protocol for AnonymousGossip {
         }
     }
 
-    fn on_packet(&mut self, api: &mut Api<'_>, from: NodeId, msg: Self::Msg, rx: RxKind) {
+    fn on_packet<C: MaodvCtx<AgMsg>>(
+        &mut self,
+        api: &mut C,
+        from: NodeId,
+        msg: Self::Msg,
+        rx: RxKind,
+    ) {
         // The upcall buffer is borrowed out of `self` and handed back
         // after the drain (the `rx_scratch` idiom): one warm buffer per
         // node instead of a fresh `Vec` per received frame. Safe because
@@ -468,7 +470,7 @@ impl Protocol for AnonymousGossip {
         self.up_scratch = up;
     }
 
-    fn on_timer(&mut self, api: &mut Api<'_>, key: TimerKey) {
+    fn on_timer<C: MaodvCtx<AgMsg>>(&mut self, api: &mut C, key: TimerKey) {
         let mut up = std::mem::take(&mut self.up_scratch);
         debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         if self.maodv.on_timer(api, key, &mut up) {
@@ -497,7 +499,7 @@ impl Protocol for AnonymousGossip {
         self.up_scratch = up;
     }
 
-    fn on_send_failure(&mut self, api: &mut Api<'_>, to: NodeId, msg: Self::Msg) {
+    fn on_send_failure<C: MaodvCtx<AgMsg>>(&mut self, api: &mut C, to: NodeId, msg: Self::Msg) {
         let mut up = std::mem::take(&mut self.up_scratch);
         debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         self.maodv.on_send_failure(api, to, msg, &mut up);
@@ -510,8 +512,63 @@ impl Protocol for AnonymousGossip {
 mod tests {
     use super::*;
     use ag_mobility::{Mobility, Stationary, Vec2};
-    use ag_net::{Engine, NodeSetup, PhyParams};
+    use ag_net::{Engine, NodeSetup, PhyParams, ProtoCtx};
     use ag_sim::rng::{SeedSplitter, StreamKind};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Minimal sampling context for the `weighted_pick` unit tests:
+    /// draws from a raw RNG stream and swallows every effect.
+    #[derive(Debug)]
+    struct RngCtx {
+        rng: SmallRng,
+    }
+
+    impl ProtoCtx<MaodvMsg<AgMsg>> for RngCtx {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn id(&self) -> NodeId {
+            NodeId::new(0)
+        }
+        fn node_count(&self) -> usize {
+            1
+        }
+        fn send(&mut self, _dest: NodeId, _msg: MaodvMsg<AgMsg>) {}
+        fn broadcast(&mut self, _msg: MaodvMsg<AgMsg>) {}
+        fn set_timer(&mut self, _delay: SimDuration, _key: TimerKey) {}
+        fn count(&mut self, _name: &'static str) {}
+        fn count_n(&mut self, _name: &'static str, _n: u64) {}
+        fn jitter(&mut self, bound: u64) -> u64 {
+            self.rng.random_range(0..bound)
+        }
+        fn chance(&mut self, p: f64) -> bool {
+            self.rng.random_bool(p)
+        }
+        fn pick_index(&mut self, n: usize) -> usize {
+            self.rng.random_range(0..n)
+        }
+        fn pick_weighted<F: Fn(usize) -> f64>(&mut self, n: usize, weight: F) -> usize {
+            let total: f64 = (0..n).map(&weight).sum();
+            let mut draw = self.rng.random_range(0.0..total);
+            let mut picked = n - 1;
+            for i in 0..n {
+                let w = weight(i);
+                if draw < w {
+                    picked = i;
+                    break;
+                }
+                draw -= w;
+            }
+            picked
+        }
+    }
+
+    fn rng_ctx(seed: u64, stream: u64) -> RngCtx {
+        RngCtx {
+            rng: SeedSplitter::new(seed).stream(StreamKind::Node, stream),
+        }
+    }
 
     fn id(n: u16) -> NodeId {
         NodeId::new(n)
@@ -521,28 +578,28 @@ mod tests {
 
     #[test]
     fn weighted_pick_empty_is_none() {
-        let mut rng = SeedSplitter::new(1).stream(StreamKind::Node, 0);
-        assert_eq!(weighted_pick(&[], true, &mut rng), None);
-        assert_eq!(weighted_pick(&[], false, &mut rng), None);
+        let mut ctx = rng_ctx(1, 0);
+        assert_eq!(weighted_pick(&[], true, &mut ctx), None);
+        assert_eq!(weighted_pick(&[], false, &mut ctx), None);
     }
 
     #[test]
     fn weighted_pick_single_always_chosen() {
-        let mut rng = SeedSplitter::new(1).stream(StreamKind::Node, 1);
+        let mut ctx = rng_ctx(1, 1);
         for _ in 0..10 {
-            assert_eq!(weighted_pick(&[(id(4), 9)], true, &mut rng), Some(id(4)));
+            assert_eq!(weighted_pick(&[(id(4), 9)], true, &mut ctx), Some(id(4)));
         }
     }
 
     #[test]
     fn weighted_pick_biases_toward_near_members() {
         // nm=1 vs nm=8: expect roughly 8:1 preference.
-        let mut rng = SeedSplitter::new(2).stream(StreamKind::Node, 2);
+        let mut ctx = rng_ctx(2, 2);
         let cands = [(id(1), 1u8), (id(2), 8u8)];
         let mut near = 0u32;
         let n = 20_000;
         for _ in 0..n {
-            if weighted_pick(&cands, true, &mut rng) == Some(id(1)) {
+            if weighted_pick(&cands, true, &mut ctx) == Some(id(1)) {
                 near += 1;
             }
         }
@@ -552,12 +609,12 @@ mod tests {
 
     #[test]
     fn weighted_pick_uniform_without_locality() {
-        let mut rng = SeedSplitter::new(3).stream(StreamKind::Node, 3);
+        let mut ctx = rng_ctx(3, 3);
         let cands = [(id(1), 1u8), (id(2), 8u8)];
         let mut near = 0u32;
         let n = 20_000;
         for _ in 0..n {
-            if weighted_pick(&cands, false, &mut rng) == Some(id(1)) {
+            if weighted_pick(&cands, false, &mut ctx) == Some(id(1)) {
                 near += 1;
             }
         }
@@ -568,8 +625,8 @@ mod tests {
     #[test]
     fn weighted_pick_handles_zero_nearest_member() {
         // nm is clamped to 1 in the weight; must not divide by zero.
-        let mut rng = SeedSplitter::new(4).stream(StreamKind::Node, 4);
-        assert!(weighted_pick(&[(id(1), 0)], true, &mut rng).is_some());
+        let mut ctx = rng_ctx(4, 4);
+        assert!(weighted_pick(&[(id(1), 0)], true, &mut ctx).is_some());
     }
 
     // ── select_reply_packets (the §4.4 reply rule) ──

@@ -54,7 +54,7 @@ pub use messages::{
     RreqPayload,
 };
 pub use node::{
-    Maodv, Upcall, TIMER_GRPH, TIMER_HELLO, TIMER_JOIN_START, TIMER_TICK, TIMER_USER_BASE,
+    Maodv, MaodvCtx, Upcall, TIMER_GRPH, TIMER_HELLO, TIMER_JOIN_START, TIMER_TICK, TIMER_USER_BASE,
 };
 pub use protocol::{MaodvProtocol, TrafficSource};
 

@@ -22,9 +22,8 @@
 
 use ag_sim::hash::DetHashMap as HashMap;
 
-use ag_net::{Message, NodeApi, NodeId, RxKind, TimerKey};
+use ag_net::{Message, NodeId, ProtoCtx, RxKind, TimerKey};
 use ag_sim::{SimDuration, SimTime};
-use rand::Rng;
 
 use crate::messages::{
     DataHeader, GrphPayload, MactKind, MactPayload, MaodvMsg, RoutedExt, RrepPayload, RreqPayload,
@@ -124,7 +123,7 @@ struct PendingJoin {
 }
 
 /// An in-flight unicast route discovery with its packet buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Discovery<X> {
     rreq_id: u32,
     sent_at: SimTime,
@@ -133,7 +132,7 @@ struct Discovery<X> {
 }
 
 /// The MAODV routing state of one node. See module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Maodv<X: Message> {
     cfg: MaodvConfig,
     id: NodeId,
@@ -171,9 +170,20 @@ pub struct Maodv<X: Message> {
     /// Flood frames awaiting their jittered rebroadcast (see
     /// [`Maodv::schedule_relay`]).
     relay_queue: std::collections::VecDeque<MaodvMsg<X>>,
+    /// Seeded-bug canary (always `false` in production): when set, a
+    /// node answers join RREQs even when its group sequence number is
+    /// *stale* — exactly the reply the §3 loop-prevention guard exists
+    /// to suppress. `ag-check` asserts its MRT loop-freedom property
+    /// catches this mutation.
+    canary_accept_stale_seq: bool,
 }
 
-type Api<'a, X> = NodeApi<'a, MaodvMsg<X>>;
+/// Bound alias for contexts carrying MAODV frames: every
+/// [`ProtoCtx<MaodvMsg<X>>`] qualifies via the blanket impl, so handler
+/// signatures write one bound instead of repeating the message type.
+pub trait MaodvCtx<X: Message>: ProtoCtx<MaodvMsg<X>> {}
+
+impl<X: Message, C: ProtoCtx<MaodvMsg<X>>> MaodvCtx<X> for C {}
 
 impl<X: Message> Maodv<X> {
     /// Creates the routing state for `id`. Members join the group after a
@@ -202,8 +212,16 @@ impl<X: Message> Maodv<X> {
             last_tree_grph: None,
             adopted_grph: None,
             relay_queue: std::collections::VecDeque::new(),
+            canary_accept_stale_seq: false,
             cfg,
         }
+    }
+
+    /// Arms the accept-stale-sequence-number seeded bug (model-checking
+    /// canary only).
+    #[cfg(any(test, feature = "bug-canary"))]
+    pub fn canary_accept_stale_seq(&mut self) {
+        self.canary_accept_stale_seq = true;
     }
 
     /// `true` if this node has recent proof of a live tree path to the
@@ -270,32 +288,26 @@ impl<X: Message> Maodv<X> {
     // ───────────────────────── lifecycle ─────────────────────────
 
     /// Schedules the initial timers. Call once from `Protocol::start`.
-    pub fn start(&mut self, api: &mut Api<'_, X>) {
-        let hello_jitter = SimDuration::from_nanos(
-            api.rng()
-                .random_range(0..self.cfg.hello_interval.as_nanos().max(1)),
-        );
+    pub fn start<C: MaodvCtx<X>>(&mut self, api: &mut C) {
+        let hello_jitter =
+            SimDuration::from_nanos(api.jitter(self.cfg.hello_interval.as_nanos().max(1)));
         api.set_timer(hello_jitter, TIMER_HELLO);
-        let tick_jitter = SimDuration::from_nanos(
-            api.rng()
-                .random_range(0..self.cfg.tick_interval.as_nanos().max(1)),
-        );
+        let tick_jitter =
+            SimDuration::from_nanos(api.jitter(self.cfg.tick_interval.as_nanos().max(1)));
         api.set_timer(self.cfg.tick_interval + tick_jitter, TIMER_TICK);
         api.set_timer(self.cfg.group_hello_interval, TIMER_GRPH);
         if self.is_member {
-            let join_jitter = SimDuration::from_nanos(
-                api.rng()
-                    .random_range(0..self.cfg.join_jitter.as_nanos().max(1)),
-            );
+            let join_jitter =
+                SimDuration::from_nanos(api.jitter(self.cfg.join_jitter.as_nanos().max(1)));
             api.set_timer(join_jitter, TIMER_JOIN_START);
         }
     }
 
     /// Handles one of MAODV's own timers. Returns `true` if the key was
     /// consumed (wrappers pass unknown keys to their own logic).
-    pub fn on_timer(
+    pub fn on_timer<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         key: TimerKey,
         up: &mut Vec<Upcall<X>>,
     ) -> bool {
@@ -325,7 +337,7 @@ impl<X: Message> Maodv<X> {
                     api.broadcast(MaodvMsg::Grph(GrphPayload { tree: true, ..base }));
                     api.count("maodv.grph_originated");
                 }
-                let jitter = SimDuration::from_micros(api.rng().random_range(0..500_000));
+                let jitter = SimDuration::from_micros(api.jitter(500_000));
                 api.set_timer(self.cfg.group_hello_interval + jitter, TIMER_GRPH);
                 true
             }
@@ -352,9 +364,9 @@ impl<X: Message> Maodv<X> {
     }
 
     /// Handles a received frame. Returns the resulting upcalls.
-    pub fn on_packet(
+    pub fn on_packet<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         from: NodeId,
         msg: MaodvMsg<X>,
         _rx: RxKind,
@@ -391,9 +403,9 @@ impl<X: Message> Maodv<X> {
 
     /// Handles a MAC-level unicast failure (retry limit exhausted): the
     /// primary link-break detector.
-    pub fn on_send_failure(
+    pub fn on_send_failure<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         to: NodeId,
         msg: MaodvMsg<X>,
         up: &mut Vec<Upcall<X>>,
@@ -415,7 +427,7 @@ impl<X: Message> Maodv<X> {
 
     /// Multicasts one data packet to the group (phase one of the paper's
     /// protocol). Returns the per-origin sequence number used.
-    pub fn send_data(&mut self, api: &mut Api<'_, X>, payload_len: u16) -> u32 {
+    pub fn send_data<C: MaodvCtx<X>>(&mut self, api: &mut C, payload_len: u16) -> u32 {
         self.data_seq += 1;
         let seq = self.data_seq;
         self.data_seen.insert((self.id, seq));
@@ -436,13 +448,13 @@ impl<X: Message> Maodv<X> {
 
     /// Sends a one-hop extension frame to a direct neighbour (gossip walk
     /// step; §4.1's propagation along the tree is built from these).
-    pub fn send_ext_neighbor(&mut self, api: &mut Api<'_, X>, to: NodeId, payload: X) {
+    pub fn send_ext_neighbor<C: MaodvCtx<X>>(&mut self, api: &mut C, to: NodeId, payload: X) {
         api.send(to, MaodvMsg::Ext(payload));
     }
 
     /// Sends an extension payload to an arbitrary node via AODV unicast
     /// routing, running route discovery (and buffering) if needed.
-    pub fn send_ext_routed(&mut self, api: &mut Api<'_, X>, dest: NodeId, payload: X) {
+    pub fn send_ext_routed<C: MaodvCtx<X>>(&mut self, api: &mut C, dest: NodeId, payload: X) {
         if dest == self.id {
             return;
         }
@@ -508,7 +520,7 @@ impl<X: Message> Maodv<X> {
 
     /// Leaves the group (paper §3: leaf members prune; non-leaf members
     /// keep routing but stop being members).
-    pub fn leave_group(&mut self, api: &mut Api<'_, X>) {
+    pub fn leave_group<C: MaodvCtx<X>>(&mut self, api: &mut C) {
         self.is_member = false;
         self.leaf_prune_check(api);
         self.propagate_nearest_member(api);
@@ -520,9 +532,9 @@ impl<X: Message> Maodv<X> {
     /// (0–10 ms). Synchronized flood relays from mutually hidden nodes
     /// would otherwise collide at the nodes between them *every* round —
     /// the classic broadcast-storm pathology jitter exists to break.
-    fn schedule_relay(&mut self, api: &mut Api<'_, X>, msg: MaodvMsg<X>) {
+    fn schedule_relay<C: MaodvCtx<X>>(&mut self, api: &mut C, msg: MaodvMsg<X>) {
         self.relay_queue.push_back(msg);
-        let delay = SimDuration::from_micros(api.rng().random_range(0..10_000));
+        let delay = SimDuration::from_micros(api.jitter(10_000));
         api.set_timer(delay, TIMER_RELAY);
     }
 
@@ -531,7 +543,7 @@ impl<X: Message> Maodv<X> {
         self.next_rreq_id
     }
 
-    fn start_join(&mut self, api: &mut Api<'_, X>, repair: Option<u8>) {
+    fn start_join<C: MaodvCtx<X>>(&mut self, api: &mut C, repair: Option<u8>) {
         self.join_started = true;
         let rreq_id = self.fresh_rreq_id();
         self.node_seq += 1;
@@ -562,7 +574,7 @@ impl<X: Message> Maodv<X> {
         }));
     }
 
-    fn broadcast_unicast_rreq(&mut self, api: &mut Api<'_, X>, dest: NodeId, rreq_id: u32) {
+    fn broadcast_unicast_rreq<C: MaodvCtx<X>>(&mut self, api: &mut C, dest: NodeId, rreq_id: u32) {
         self.rreq_seen.insert((self.id, rreq_id));
         api.count("maodv.unicast_rreq");
         api.broadcast(MaodvMsg::Rreq(RreqPayload {
@@ -579,7 +591,7 @@ impl<X: Message> Maodv<X> {
         }));
     }
 
-    fn become_leader(&mut self, api: &mut Api<'_, X>, up: &mut Vec<Upcall<X>>) {
+    fn become_leader<C: MaodvCtx<X>>(&mut self, api: &mut C, up: &mut Vec<Upcall<X>>) {
         self.is_leader = true;
         self.mrt.leader = Some(self.id);
         self.mrt.group_seq += 1;
@@ -589,7 +601,7 @@ impl<X: Message> Maodv<X> {
         api.count("maodv.became_leader");
     }
 
-    fn tick(&mut self, api: &mut Api<'_, X>, up: &mut Vec<Upcall<X>>) {
+    fn tick<C: MaodvCtx<X>>(&mut self, api: &mut C, up: &mut Vec<Upcall<X>>) {
         let now = api.now();
         // 1. Neighbour liveness: silent tree neighbours break links.
         for dead in self.neighbors.sweep_dead(now) {
@@ -668,9 +680,7 @@ impl<X: Message> Maodv<X> {
             && self.last_tree_grph.is_some()
             && !self.tree_connected(now)
         {
-            let jitter_ns = api
-                .rng()
-                .random_range(0..self.cfg.group_hello_interval.as_nanos());
+            let jitter_ns = api.jitter(self.cfg.group_hello_interval.as_nanos());
             let stale_for = now.duration_since(self.last_tree_grph.expect("checked"));
             if stale_for.as_nanos() > self.cfg.group_hello_interval.as_nanos() * 5 / 2 + jitter_ns {
                 api.count("maodv.orphan_repair");
@@ -724,9 +734,9 @@ impl<X: Message> Maodv<X> {
     }
 
     /// Requester side of MACT: activate the best candidate branch.
-    fn activate_branch(
+    fn activate_branch<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         best: JoinCandidate,
         rreq_id: u32,
         up: &mut Vec<Upcall<X>>,
@@ -771,7 +781,7 @@ impl<X: Message> Maodv<X> {
         api.count("maodv.mact_sent");
     }
 
-    fn handle_rreq(&mut self, api: &mut Api<'_, X>, from: NodeId, r: RreqPayload) {
+    fn handle_rreq<C: MaodvCtx<X>>(&mut self, api: &mut C, from: NodeId, r: RreqPayload) {
         if r.origin == self.id {
             return;
         }
@@ -797,8 +807,9 @@ impl<X: Message> Maodv<X> {
             let can_reply = self.on_tree()
                 && self.tree_connected(now)
                 && self.mrt.upstream() != Some(r.origin)
-                && self.mrt.group_seq >= r.known_seq
-                && r.repair_hops.is_none_or(|rh| self.mrt.hops_to_leader < rh);
+                && (self.mrt.group_seq >= r.known_seq || self.canary_accept_stale_seq)
+                && (r.repair_hops.is_none_or(|rh| self.mrt.hops_to_leader < rh)
+                    || self.canary_accept_stale_seq);
             if can_reply {
                 api.count("maodv.join_rrep_sent");
                 api.send(
@@ -871,9 +882,9 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_rrep(
+    fn handle_rrep<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         from: NodeId,
         p: RrepPayload,
         up: &mut Vec<Upcall<X>>,
@@ -975,9 +986,9 @@ impl<X: Message> Maodv<X> {
         );
     }
 
-    fn handle_mact(
+    fn handle_mact<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         from: NodeId,
         m: MactPayload,
         up: &mut Vec<Upcall<X>>,
@@ -1036,7 +1047,7 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_grph(&mut self, api: &mut Api<'_, X>, from: NodeId, g: GrphPayload) {
+    fn handle_grph<C: MaodvCtx<X>>(&mut self, api: &mut C, from: NodeId, g: GrphPayload) {
         if g.group != self.group {
             return;
         }
@@ -1081,7 +1092,7 @@ impl<X: Message> Maodv<X> {
     /// A tree-scoped GRPH: adopt and relay downward only when it arrives
     /// over our upstream tree edge — that chain of custody is what makes
     /// it a proof of leader connectivity.
-    fn handle_tree_grph(&mut self, api: &mut Api<'_, X>, from: NodeId, g: GrphPayload) {
+    fn handle_tree_grph<C: MaodvCtx<X>>(&mut self, api: &mut C, from: NodeId, g: GrphPayload) {
         if self.is_leader || self.mrt.upstream() != Some(from) {
             return;
         }
@@ -1108,9 +1119,9 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_data(
+    fn handle_data<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         from: NodeId,
         d: DataHeader,
         up: &mut Vec<Upcall<X>>,
@@ -1160,9 +1171,9 @@ impl<X: Message> Maodv<X> {
         }
     }
 
-    fn handle_routed(
+    fn handle_routed<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         from: NodeId,
         r: RoutedExt<X>,
         up: &mut Vec<Upcall<X>>,
@@ -1205,9 +1216,9 @@ impl<X: Message> Maodv<X> {
         );
     }
 
-    fn handle_tree_break(
+    fn handle_tree_break<C: MaodvCtx<X>>(
         &mut self,
-        api: &mut Api<'_, X>,
+        api: &mut C,
         neighbor: NodeId,
         up: &mut Vec<Upcall<X>>,
     ) {
@@ -1232,7 +1243,7 @@ impl<X: Message> Maodv<X> {
 
     /// A non-member router whose tree degree fell to one is a useless
     /// leaf: prune (cascades upstream per §3).
-    fn leaf_prune_check(&mut self, api: &mut Api<'_, X>) {
+    fn leaf_prune_check<C: MaodvCtx<X>>(&mut self, api: &mut C) {
         if self.is_member || self.is_leader {
             return;
         }
@@ -1256,7 +1267,7 @@ impl<X: Message> Maodv<X> {
 
     /// Sends our advertised `nearest_member` value to a newly activated
     /// neighbour (bootstraps the exchange in both directions).
-    fn exchange_nearest_member(&mut self, api: &mut Api<'_, X>, to: NodeId) {
+    fn exchange_nearest_member<C: MaodvCtx<X>>(&mut self, api: &mut C, to: NodeId) {
         let value = self.mrt.advertised_nearest_member(to, self.is_member);
         self.nm_sent.insert(to, value);
         api.send(
@@ -1270,7 +1281,7 @@ impl<X: Message> Maodv<X> {
 
     /// Sends `nearest_member` advertisements to every enabled next hop
     /// whose value changed since last sent (§4.2).
-    fn propagate_nearest_member(&mut self, api: &mut Api<'_, X>) {
+    fn propagate_nearest_member<C: MaodvCtx<X>>(&mut self, api: &mut C) {
         for (to, value) in self.mrt.advertisements(self.is_member) {
             if self.nm_sent.get(&to) != Some(&value) {
                 self.nm_sent.insert(to, value);

@@ -5,7 +5,7 @@
 //! optional [`TrafficSource`] reproduces the paper's traffic model (64-
 //! byte payloads every 200 ms from t = 120 s to t = 560 s).
 
-use ag_net::{NodeApi, NodeId, Protocol, RxKind, TimerKey};
+use ag_net::{NodeId, ProtoCtx, Protocol, RxKind, TimerKey};
 use ag_sim::{SimDuration, SimTime};
 
 use crate::delivery::{DeliveryLog, DeliveryPath};
@@ -96,7 +96,7 @@ impl TrafficSource {
 /// let member = e.protocol(NodeId::new(1));
 /// assert_eq!(member.delivery().distinct(), 20);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaodvProtocol {
     node: Maodv<NoExt>,
     delivery: DeliveryLog,
@@ -130,6 +130,13 @@ impl MaodvProtocol {
         &self.node
     }
 
+    /// Mutable access to the underlying routing state, exposed only so
+    /// the `ag-check` canary tests can arm seeded bugs before a run.
+    #[cfg(any(test, feature = "bug-canary"))]
+    pub fn node_mut(&mut self) -> &mut Maodv<NoExt> {
+        &mut self.node
+    }
+
     /// Packets this member has received (distinct, de-duplicated).
     pub fn delivery(&self) -> &DeliveryLog {
         &self.delivery
@@ -158,16 +165,16 @@ impl MaodvProtocol {
 impl Protocol for MaodvProtocol {
     type Msg = MaodvMsg<NoExt>;
 
-    fn start(&mut self, api: &mut NodeApi<'_, Self::Msg>) {
+    fn start<C: ProtoCtx<Self::Msg>>(&mut self, api: &mut C) {
         self.node.start(api);
         if let Some(t) = self.traffic {
             api.set_timer(t.start.duration_since(SimTime::ZERO), TIMER_TRAFFIC);
         }
     }
 
-    fn on_packet(
+    fn on_packet<C: ProtoCtx<Self::Msg>>(
         &mut self,
-        api: &mut NodeApi<'_, Self::Msg>,
+        api: &mut C,
         from: NodeId,
         msg: Self::Msg,
         rx: RxKind,
@@ -181,7 +188,7 @@ impl Protocol for MaodvProtocol {
         self.up_scratch = up;
     }
 
-    fn on_timer(&mut self, api: &mut NodeApi<'_, Self::Msg>, key: TimerKey) {
+    fn on_timer<C: ProtoCtx<Self::Msg>>(&mut self, api: &mut C, key: TimerKey) {
         let mut up = std::mem::take(&mut self.up_scratch);
         debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         if self.node.on_timer(api, key, &mut up) {
@@ -204,7 +211,7 @@ impl Protocol for MaodvProtocol {
         self.up_scratch = up;
     }
 
-    fn on_send_failure(&mut self, api: &mut NodeApi<'_, Self::Msg>, to: NodeId, msg: Self::Msg) {
+    fn on_send_failure<C: ProtoCtx<Self::Msg>>(&mut self, api: &mut C, to: NodeId, msg: Self::Msg) {
         let mut up = std::mem::take(&mut self.up_scratch);
         debug_assert!(up.is_empty(), "upcall scratch handed back dirty");
         self.node.on_send_failure(api, to, msg, &mut up);

@@ -1,0 +1,236 @@
+//! The protocol ↔ world boundary.
+//!
+//! [`ProtoCtx`] is the *only* surface a [`Protocol`](crate::Protocol)
+//! implementation may touch: simulated time, its own address, frame
+//! sends, timers, counters, and **named random choices**. Protocol code
+//! written against this trait is pure with respect to the world — the
+//! same monomorphized handler body runs
+//!
+//! * under the discrete-event engine ([`NodeApi`](crate::NodeApi)
+//!   implements `ProtoCtx` by drawing from the node's deterministic
+//!   RNG stream and scheduling real events), and
+//! * under the `ag-check` model checker, whose context *enumerates*
+//!   every outcome of each named choice instead of sampling one,
+//!   turning each handler invocation into a `transition(state, action)
+//!   -> (state, effects)` step of a finite machine.
+//!
+//! The named-choice methods exist so randomness is part of the boundary
+//! rather than an ambient capability. Each names the *decision* a
+//! protocol makes (jitter a timer, accept with probability `p`, pick a
+//! next hop), which is what lets the checker treat them as
+//! nondeterministic branch points and the conformance harness replay a
+//! recorded engine run choice-for-choice (see [`Choice`]).
+
+use std::fmt;
+use std::hash::Hasher;
+
+use ag_sim::hash::FastHasher;
+use ag_sim::{SimDuration, SimTime};
+
+use crate::types::{Message, NodeId, RxKind, TimerKey};
+
+/// Everything a protocol can observe or do, as a trait.
+///
+/// The engine's [`NodeApi`](crate::NodeApi) is the production
+/// implementation; `ag-check` provides an enumerating one (model
+/// checking) and a replaying one (trace conformance). Handlers are
+/// generic over `C`, so the engine pays no dynamic dispatch: the same
+/// code monomorphizes per context.
+///
+/// # Determinism contract
+///
+/// Implementations must be deterministic functions of their own state:
+/// given the same protocol state and the same sequence of returned
+/// choice values, a handler must emit the same effects. The engine
+/// implementation draws every choice from the node's
+/// [`StreamKind::Node`](ag_sim::rng::StreamKind) stream and nothing
+/// else, which is what makes recorded runs replayable.
+pub trait ProtoCtx<M: Message> {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// This node's address.
+    fn id(&self) -> NodeId;
+
+    /// Total number of nodes in the network.
+    fn node_count(&self) -> usize;
+
+    /// Queues a unicast frame to `dest` (ACKed; retried; failure
+    /// reported via `on_send_failure`).
+    fn send(&mut self, dest: NodeId, msg: M);
+
+    /// Queues a local broadcast frame (unacknowledged).
+    fn broadcast(&mut self, msg: M);
+
+    /// Schedules `on_timer` with `key` after `delay` (not cancellable).
+    fn set_timer(&mut self, delay: SimDuration, key: TimerKey);
+
+    /// Adds 1 to the observability counter `name`.
+    fn count(&mut self, name: &'static str);
+
+    /// Adds `n` to the observability counter `name`.
+    fn count_n(&mut self, name: &'static str, n: u64);
+
+    /// A uniform draw from `0..bound` (nanoseconds or microseconds by
+    /// caller convention) used to de-synchronize periodic timers.
+    ///
+    /// Jitter never changes *what* a protocol does, only *when*; the
+    /// model checker resolves it to 0 and explores timer-tie orders
+    /// nondeterministically instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    fn jitter(&mut self, bound: u64) -> u64;
+
+    /// A Bernoulli trial with probability `p` (e.g. the paper's
+    /// anonymous-vs-cached coin and the member accept probability).
+    ///
+    /// Sampling implementations draw the trial as-is (the engine keeps
+    /// its historical RNG stream bit-identical); enumerating
+    /// implementations must not branch when the outcome is forced
+    /// (`p <= 0.0` is `false`, `p >= 1.0` is `true`), so degenerate
+    /// configurations stay deterministic under the checker.
+    fn chance(&mut self, p: f64) -> bool;
+
+    /// A uniform index draw from `0..n` (next-hop / cached-member
+    /// selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    fn pick_index(&mut self, n: usize) -> usize;
+
+    /// A weighted index draw from `0..n` with weight `weight(i)` for
+    /// each candidate (§4.2 locality weighting). Weights must be
+    /// strictly positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    fn pick_weighted<F: Fn(usize) -> f64>(&mut self, n: usize, weight: F) -> usize;
+}
+
+/// The recorded outcome of one named random choice.
+///
+/// The engine appends one `Choice` per [`ProtoCtx`] draw while tracing
+/// is enabled; the conformance harness feeds them back verbatim, so a
+/// replayed handler re-executes the engine run decision-for-decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Outcome of [`ProtoCtx::jitter`].
+    Jitter(u64),
+    /// Outcome of [`ProtoCtx::chance`].
+    Chance(bool),
+    /// Outcome of [`ProtoCtx::pick_index`] or
+    /// [`ProtoCtx::pick_weighted`] (the selected candidate).
+    Index(usize),
+}
+
+/// What the engine dispatched into a protocol instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dispatch<M> {
+    /// [`Protocol::start`](crate::Protocol::start) at time zero.
+    Start,
+    /// [`Protocol::on_packet`](crate::Protocol::on_packet).
+    Packet {
+        /// The sending node.
+        from: NodeId,
+        /// The delivered payload.
+        msg: M,
+        /// Unicast or broadcast reception.
+        rx: RxKind,
+    },
+    /// [`Protocol::on_timer`](crate::Protocol::on_timer).
+    Timer {
+        /// The timer tag.
+        key: TimerKey,
+    },
+    /// [`Protocol::on_send_failure`](crate::Protocol::on_send_failure).
+    SendFailure {
+        /// The unreachable destination.
+        to: NodeId,
+        /// The undeliverable payload.
+        msg: M,
+    },
+}
+
+/// One protocol dispatch in an engine trace: what went in, which
+/// choices were drawn, and a digest of the node's state afterwards.
+///
+/// A trace is the engine's half of the conformance contract: replaying
+/// `dispatch` with `choices` through the pure facade must land on a
+/// state with the same `digest`, or the simulated protocol and the
+/// checked model have drifted apart.
+#[derive(Debug, Clone)]
+pub struct TraceRecord<M> {
+    /// The node the dispatch went to.
+    pub node: NodeId,
+    /// Simulated time of the dispatch.
+    pub at: SimTime,
+    /// The handler invocation.
+    pub dispatch: Dispatch<M>,
+    /// Every named-choice outcome drawn during the handler, in order.
+    pub choices: Vec<Choice>,
+    /// [`state_digest`] of the protocol state after the handler
+    /// returned.
+    pub digest: u64,
+}
+
+/// Canonical digest of a protocol state: [`FastHasher`] over the
+/// state's `Debug` rendering, streamed without an intermediate string.
+///
+/// `Debug` is the canonical form because every protocol table in this
+/// workspace hashes with fixed keys
+/// ([`DetHashMap`](ag_sim::hash::DetHashMap)), so iteration order — and
+/// with it the rendering — is identical across processes for identical
+/// operation histories. Two equal states therefore digest equally,
+/// which is all conformance and the checker's visited set need.
+pub fn state_digest<T: fmt::Debug>(value: &T) -> u64 {
+    struct HashWriter(FastHasher);
+    impl fmt::Write for HashWriter {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+    let mut w = HashWriter(FastHasher::default());
+    let _ = fmt::write(&mut w, format_args!("{value:?}"));
+    w.0.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_distinguishes_and_reproduces() {
+        let a = (1u32, "x", vec![3u8, 4]);
+        let b = (1u32, "x", vec![3u8, 5]);
+        assert_eq!(state_digest(&a), state_digest(&a));
+        assert_ne!(state_digest(&a), state_digest(&b));
+    }
+
+    #[test]
+    fn digest_is_stable_across_calls() {
+        // `fmt` hands the writer the same chunk sequence for the same
+        // value, so the streamed digest is reproducible.
+        let v = vec![(1u16, 2u64); 17];
+        assert_eq!(state_digest(&v), state_digest(&v));
+    }
+
+    #[test]
+    fn choice_and_dispatch_are_comparable() {
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        struct Ping;
+        impl Message for Ping {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        assert_eq!(Choice::Index(3), Choice::Index(3));
+        assert_ne!(Choice::Chance(true), Choice::Chance(false));
+        let d: Dispatch<Ping> = Dispatch::Timer { key: 7 };
+        assert_eq!(d, Dispatch::Timer { key: 7 });
+    }
+}

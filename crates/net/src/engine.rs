@@ -23,6 +23,7 @@ use ag_sim::{EventQueue, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::ctx::{state_digest, Choice, Dispatch, ProtoCtx, TraceRecord};
 use crate::grid::{AirIndex, NodeGrid, TxShot};
 use crate::mac::{Mac, MacState, OutFrame};
 use crate::{Message, NodeId, PhyParams, Protocol, ReceptionModel, RxKind, TimerKey};
@@ -211,11 +212,45 @@ struct World<M: Message> {
     /// fresh allocation.
     rx_scratch_cap: usize,
     scratch_cap: usize,
+    /// Conformance trace sink; `None` (the default) keeps tracing off
+    /// the hot path entirely. See [`Engine::new_traced`].
+    trace: Option<TraceSink<M>>,
+}
+
+/// Accumulates [`TraceRecord`]s plus the named-choice outcomes of the
+/// protocol dispatch currently executing.
+struct TraceSink<M> {
+    records: Vec<TraceRecord<M>>,
+    pending: Vec<Choice>,
 }
 
 impl<M: Message> World<M> {
     fn node_count(&self) -> usize {
         self.macs.len()
+    }
+
+    /// Appends one named-choice outcome to the dispatch being traced
+    /// (no-op with tracing off).
+    #[inline]
+    fn record_choice(&mut self, c: Choice) {
+        if let Some(t) = &mut self.trace {
+            t.pending.push(c);
+        }
+    }
+
+    /// Seals the current dispatch into a [`TraceRecord`], taking the
+    /// accumulated choices with it.
+    fn trace_record(&mut self, node: usize, dispatch: Dispatch<M>, digest: u64) {
+        let now = self.now;
+        if let Some(t) = &mut self.trace {
+            t.records.push(TraceRecord {
+                node: NodeId::new(node as u16),
+                at: now,
+                dispatch,
+                choices: std::mem::take(&mut t.pending),
+                digest,
+            });
+        }
     }
 
     fn position(&self, node: usize) -> Vec2 {
@@ -685,32 +720,36 @@ impl<M: Message> World<M> {
 
 /// The per-node view of the world handed to [`Protocol`] callbacks.
 ///
-/// Everything a protocol can do — send, schedule, randomize, count — goes
-/// through this handle, which keeps protocols deterministic and testable.
+/// This is the engine's implementation of [`ProtoCtx`]: sends become
+/// MAC-queued frames, timers become kernel events, and every named
+/// random choice draws from the node's [`StreamKind::Node`] stream —
+/// nothing else touches that stream, which is what makes engine runs
+/// replayable choice-for-choice through the pure facade (`ag-check`).
 pub struct NodeApi<'a, M: Message> {
     world: &'a mut World<M>,
     node: usize,
 }
 
 impl<'a, M: Message> NodeApi<'a, M> {
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
+    /// This node's current position (exposed for tracing/metrics only —
+    /// the protocols in this workspace never route on positions, so it
+    /// is deliberately *not* part of [`ProtoCtx`]).
+    pub fn position(&self) -> Vec2 {
+        self.world.position(self.node)
+    }
+}
+
+impl<'a, M: Message> ProtoCtx<M> for NodeApi<'a, M> {
+    fn now(&self) -> SimTime {
         self.world.now
     }
 
-    /// This node's address.
-    pub fn id(&self) -> NodeId {
+    fn id(&self) -> NodeId {
         NodeId::new(self.node as u16)
     }
 
-    /// Total number of nodes in the simulation.
-    pub fn node_count(&self) -> usize {
+    fn node_count(&self) -> usize {
         self.world.node_count()
-    }
-
-    /// This node's deterministic protocol RNG stream.
-    pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.world.node_rngs[self.node]
     }
 
     /// Queues a unicast frame to `dest` (ACKed; retried up to the retry
@@ -718,7 +757,7 @@ impl<'a, M: Message> NodeApi<'a, M> {
     /// through — including when a radio failure destroys it while
     /// queued). Exception: a frame sent while this node's own radio is
     /// already down (churn) is discarded without a callback.
-    pub fn send(&mut self, dest: NodeId, msg: M) {
+    fn send(&mut self, dest: NodeId, msg: M) {
         debug_assert!(
             dest.index() < self.world.node_count(),
             "unknown destination {dest}"
@@ -729,14 +768,14 @@ impl<'a, M: Message> NodeApi<'a, M> {
 
     /// Queues a local broadcast frame (heard by every node in range,
     /// unacknowledged).
-    pub fn broadcast(&mut self, msg: M) {
+    fn broadcast(&mut self, msg: M) {
         self.world.enqueue_frame(self.node, None, msg);
     }
 
     /// Schedules [`Protocol::on_timer`] with `key` after `delay`.
     ///
     /// Timers are not cancellable; see [`TimerKey`] for the idiom.
-    pub fn set_timer(&mut self, delay: SimDuration, key: TimerKey) {
+    fn set_timer(&mut self, delay: SimDuration, key: TimerKey) {
         let at = self.world.now + delay;
         self.world.queue.schedule(
             at,
@@ -747,20 +786,54 @@ impl<'a, M: Message> NodeApi<'a, M> {
         );
     }
 
-    /// Adds 1 to the engine-global counter `name`.
-    pub fn count(&mut self, name: &'static str) {
+    fn count(&mut self, name: &'static str) {
         self.world.counters.incr(name);
     }
 
-    /// Adds `n` to the engine-global counter `name`.
-    pub fn count_n(&mut self, name: &'static str, n: u64) {
+    fn count_n(&mut self, name: &'static str, n: u64) {
         self.world.counters.add(name, n);
     }
 
-    /// This node's current position (exposed for tracing/metrics only —
-    /// the protocols in this workspace never route on positions).
-    pub fn position(&self) -> Vec2 {
-        self.world.position(self.node)
+    fn jitter(&mut self, bound: u64) -> u64 {
+        let v = self.world.node_rngs[self.node].random_range(0..bound);
+        self.world.record_choice(Choice::Jitter(v));
+        v
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        // Drawn unconditionally (even for p ∈ {0, 1}) so the node RNG
+        // stream is bit-identical to the pre-facade engine.
+        let v = self.world.node_rngs[self.node].random_bool(p);
+        self.world.record_choice(Choice::Chance(v));
+        v
+    }
+
+    fn pick_index(&mut self, n: usize) -> usize {
+        let v = self.world.node_rngs[self.node].random_range(0..n);
+        self.world.record_choice(Choice::Index(v));
+        v
+    }
+
+    fn pick_weighted<F: Fn(usize) -> f64>(&mut self, n: usize, weight: F) -> usize {
+        assert!(n > 0, "weighted pick over no candidates");
+        // Two passes instead of a collected weight buffer: the sum
+        // visits the weights in the same order an explicit `Vec` would
+        // and the walk recomputes the same values, so the single RNG
+        // draw and every comparison are bit-identical to the historical
+        // allocating implementation (and nothing allocates).
+        let total: f64 = (0..n).map(&weight).sum();
+        let mut draw = self.world.node_rngs[self.node].random_range(0.0..total);
+        let mut picked = n - 1;
+        for i in 0..n {
+            let w = weight(i);
+            if draw < w {
+                picked = i;
+                break;
+            }
+            draw -= w;
+        }
+        self.world.record_choice(Choice::Index(picked));
+        picked
     }
 }
 
@@ -777,7 +850,7 @@ pub struct NodeSetup<P> {
 /// # Example
 ///
 /// ```
-/// use ag_net::{Engine, NodeSetup, NodeId, PhyParams, Protocol, Message, NodeApi, RxKind, TimerKey};
+/// use ag_net::{Engine, NodeSetup, NodeId, PhyParams, ProtoCtx, Protocol, Message, RxKind, TimerKey};
 /// use ag_mobility::{Stationary, Vec2};
 /// use ag_sim::{SimTime, SimDuration};
 ///
@@ -787,22 +860,22 @@ pub struct NodeSetup<P> {
 ///     fn wire_size(&self) -> usize { 8 }
 /// }
 ///
-/// #[derive(Default)]
+/// #[derive(Debug, Default)]
 /// struct Hello { got: usize }
 /// impl Protocol for Hello {
 ///     type Msg = Ping;
-///     fn start(&mut self, api: &mut NodeApi<'_, Ping>) {
-///         if api.id() == NodeId::new(0) {
-///             api.set_timer(SimDuration::from_millis(10), 0);
+///     fn start<C: ProtoCtx<Ping>>(&mut self, ctx: &mut C) {
+///         if ctx.id() == NodeId::new(0) {
+///             ctx.set_timer(SimDuration::from_millis(10), 0);
 ///         }
 ///     }
-///     fn on_packet(&mut self, _api: &mut NodeApi<'_, Ping>, _from: NodeId, _msg: Ping, _rx: RxKind) {
+///     fn on_packet<C: ProtoCtx<Ping>>(&mut self, _ctx: &mut C, _from: NodeId, _msg: Ping, _rx: RxKind) {
 ///         self.got += 1;
 ///     }
-///     fn on_timer(&mut self, api: &mut NodeApi<'_, Ping>, _key: TimerKey) {
-///         api.broadcast(Ping);
+///     fn on_timer<C: ProtoCtx<Ping>>(&mut self, ctx: &mut C, _key: TimerKey) {
+///         ctx.broadcast(Ping);
 ///     }
-///     fn on_send_failure(&mut self, _api: &mut NodeApi<'_, Ping>, _to: NodeId, _msg: Ping) {}
+///     fn on_send_failure<C: ProtoCtx<Ping>>(&mut self, _ctx: &mut C, _to: NodeId, _msg: Ping) {}
 /// }
 ///
 /// let nodes = vec![
@@ -826,6 +899,20 @@ impl<P: Protocol> Engine<P> {
     ///
     /// Panics if `nodes` is empty or has more than `u16::MAX` entries.
     pub fn new(phy: PhyParams, seed: u64, nodes: Vec<NodeSetup<P>>) -> Self {
+        Self::build(phy, seed, nodes, false)
+    }
+
+    /// Like [`Engine::new`], but with conformance tracing enabled from
+    /// the very first [`Protocol::start`] dispatch: every protocol
+    /// dispatch is recorded as a [`TraceRecord`] (inputs, named-choice
+    /// outcomes, post-dispatch state digest) for replay through the
+    /// pure facade in `ag-check`. Tracing accumulates unboundedly —
+    /// meant for short conformance runs, not production simulations.
+    pub fn new_traced(phy: PhyParams, seed: u64, nodes: Vec<NodeSetup<P>>) -> Self {
+        Self::build(phy, seed, nodes, true)
+    }
+
+    fn build(phy: PhyParams, seed: u64, nodes: Vec<NodeSetup<P>>, traced: bool) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
         assert!(nodes.len() <= u16::MAX as usize, "too many nodes");
         let splitter = SeedSplitter::new(seed);
@@ -896,6 +983,10 @@ impl<P: Protocol> Engine<P> {
             recv_bits: vec![0; n.div_ceil(64)],
             rx_scratch_cap: 0,
             scratch_cap: 0,
+            trace: traced.then(|| TraceSink {
+                records: Vec::new(),
+                pending: Vec::new(),
+            }),
             phy,
         };
         for node in 0..n {
@@ -917,8 +1008,21 @@ impl<P: Protocol> Engine<P> {
                 node,
             };
             engine.protocols[node].start(&mut api);
+            if traced {
+                let digest = state_digest(&engine.protocols[node]);
+                engine.world.trace_record(node, Dispatch::Start, digest);
+            }
         }
         engine
+    }
+
+    /// Drains the conformance trace accumulated so far (empty unless
+    /// the engine was built with [`Engine::new_traced`]).
+    pub fn take_trace(&mut self) -> Vec<TraceRecord<P::Msg>> {
+        match &mut self.world.trace {
+            Some(t) => std::mem::take(&mut t.records),
+            None => Vec::new(),
+        }
     }
 
     /// Runs the event loop until simulated time `t` (inclusive). Safe to
@@ -939,11 +1043,17 @@ impl<P: Protocol> Engine<P> {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Timer { node, key } => {
+                let traced = self.world.trace.is_some();
                 let mut api = NodeApi {
                     world: &mut self.world,
                     node,
                 };
                 self.protocols[node].on_timer(&mut api, key);
+                if traced {
+                    let digest = state_digest(&self.protocols[node]);
+                    self.world
+                        .trace_record(node, Dispatch::Timer { key }, digest);
+                }
             }
             Event::MacAttempt { node, gen } => {
                 self.world.handle_attempt(node, gen);
@@ -966,11 +1076,19 @@ impl<P: Protocol> Engine<P> {
                 let mut dropped = std::mem::take(&mut self.world.churn_scratch);
                 for frame in dropped.drain(..) {
                     if let Some(dest) = frame.dest {
+                        let disp = self.world.trace.is_some().then(|| Dispatch::SendFailure {
+                            to: dest,
+                            msg: frame.msg.clone(),
+                        });
                         let mut api = NodeApi {
                             world: &mut self.world,
                             node,
                         };
                         self.protocols[node].on_send_failure(&mut api, dest, frame.msg);
+                        if let Some(d) = disp {
+                            let digest = state_digest(&self.protocols[node]);
+                            self.world.trace_record(node, d, digest);
+                        }
                     }
                 }
                 self.world.churn_scratch = dropped;
@@ -1006,6 +1124,7 @@ impl<P: Protocol> Engine<P> {
                 self.world.hot.rx_delivered += receivers.len() as u64;
                 self.world.hot.rx_delivered_touched = true;
                 for &r in &receivers {
+                    let traced = self.world.trace.is_some();
                     let mut api = NodeApi {
                         world: &mut self.world,
                         node: r,
@@ -1016,6 +1135,18 @@ impl<P: Protocol> Engine<P> {
                         rec.frame.msg.clone(),
                         RxKind::Broadcast,
                     );
+                    if traced {
+                        let digest = state_digest(&self.protocols[r]);
+                        self.world.trace_record(
+                            r,
+                            Dispatch::Packet {
+                                from,
+                                msg: rec.frame.msg.clone(),
+                                rx: RxKind::Broadcast,
+                            },
+                            digest,
+                        );
+                    }
                 }
             }
             Some(dest) => {
@@ -1024,6 +1155,11 @@ impl<P: Protocol> Engine<P> {
                     self.world.hot.rx_delivered += 1;
                     self.world.hot.rx_delivered_touched = true;
                     self.world.finish_head_frame(sender);
+                    let disp = self.world.trace.is_some().then(|| Dispatch::Packet {
+                        from,
+                        msg: rec.frame.msg.clone(),
+                        rx: RxKind::Unicast,
+                    });
                     let mut api = NodeApi {
                         world: &mut self.world,
                         node: dest.index(),
@@ -1036,12 +1172,24 @@ impl<P: Protocol> Engine<P> {
                         rec.frame.msg,
                         RxKind::Unicast,
                     );
+                    if let Some(d) = disp {
+                        let digest = state_digest(&self.protocols[dest.index()]);
+                        self.world.trace_record(dest.index(), d, digest);
+                    }
                 } else if let Some(dropped) = self.world.unicast_retry_or_fail(sender) {
+                    let disp = self.world.trace.is_some().then(|| Dispatch::SendFailure {
+                        to: dest,
+                        msg: dropped.msg.clone(),
+                    });
                     let mut api = NodeApi {
                         world: &mut self.world,
                         node: sender,
                     };
                     self.protocols[sender].on_send_failure(&mut api, dest, dropped.msg);
+                    if let Some(d) = disp {
+                        let digest = state_digest(&self.protocols[sender]);
+                        self.world.trace_record(sender, d, digest);
+                    }
                 }
             }
         }
@@ -1154,7 +1302,7 @@ mod tests {
 
     /// A scripted protocol: runs `script` actions at given delays, records
     /// everything it receives.
-    #[derive(Default)]
+    #[derive(Debug, Default)]
     struct Scripted {
         script: Vec<(SimDuration, Action)>,
         received: Vec<(SimTime, NodeId, TMsg, RxKind)>,
@@ -1174,27 +1322,33 @@ mod tests {
     impl Protocol for Scripted {
         type Msg = TMsg;
 
-        fn start(&mut self, api: &mut NodeApi<'_, TMsg>) {
+        fn start<C: ProtoCtx<TMsg>>(&mut self, ctx: &mut C) {
             for (i, (delay, _)) in self.script.iter().enumerate() {
-                api.set_timer(*delay, i as TimerKey);
+                ctx.set_timer(*delay, i as TimerKey);
             }
         }
 
-        fn on_packet(&mut self, api: &mut NodeApi<'_, TMsg>, from: NodeId, msg: TMsg, rx: RxKind) {
-            self.received.push((api.now(), from, msg, rx));
+        fn on_packet<C: ProtoCtx<TMsg>>(
+            &mut self,
+            ctx: &mut C,
+            from: NodeId,
+            msg: TMsg,
+            rx: RxKind,
+        ) {
+            self.received.push((ctx.now(), from, msg, rx));
         }
 
-        fn on_timer(&mut self, api: &mut NodeApi<'_, TMsg>, key: TimerKey) {
-            self.timer_fires.push((api.now(), key));
+        fn on_timer<C: ProtoCtx<TMsg>>(&mut self, ctx: &mut C, key: TimerKey) {
+            self.timer_fires.push((ctx.now(), key));
             if let Some((_, action)) = self.script.get(key as usize).cloned() {
                 match action {
-                    Action::Broadcast(m) => api.broadcast(m),
-                    Action::Send(to, m) => api.send(to, m),
+                    Action::Broadcast(m) => ctx.broadcast(m),
+                    Action::Send(to, m) => ctx.send(to, m),
                 }
             }
         }
 
-        fn on_send_failure(&mut self, _api: &mut NodeApi<'_, TMsg>, to: NodeId, msg: TMsg) {
+        fn on_send_failure<C: ProtoCtx<TMsg>>(&mut self, _ctx: &mut C, to: NodeId, msg: TMsg) {
             self.failures.push((to, msg));
         }
     }

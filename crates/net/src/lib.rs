@@ -13,6 +13,12 @@
 //!   MAC, mobility model and RNG streams, and drives an upper-layer
 //!   [`Protocol`] implementation per node (MAODV in `ag-maodv`, Anonymous
 //!   Gossip over MAODV in `ag-core`).
+//! * [`ProtoCtx`] (module [`ctx`]) — the pure facade protocol handlers
+//!   are written against: effects (frames, timers, counters) and *named
+//!   random choices* flow through the context, never directly into the
+//!   world. The same handler code therefore also runs under `ag-check`'s
+//!   model checker and its conformance replayer ([`Engine::new_traced`]
+//!   records the per-dispatch [`TraceRecord`]s the replay consumes).
 //!
 //! ## Fidelity notes (see DESIGN.md §5)
 //!
@@ -36,9 +42,11 @@ mod engine;
 mod grid;
 mod types;
 
+pub mod ctx;
 pub mod mac;
 pub mod phy;
 
+pub use ctx::{state_digest, Choice, Dispatch, ProtoCtx, TraceRecord};
 pub use engine::{Engine, NodeApi, NodeSetup};
 pub use phy::{ChurnParams, PhyParams, ReceptionModel};
 pub use types::{Message, NodeId, Protocol, RxKind, TimerKey};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::NodeApi;
+use crate::ctx::ProtoCtx;
 
 /// A node's network address.
 ///
@@ -87,35 +87,44 @@ pub trait Message: Clone + fmt::Debug + Send + 'static {
 /// The upper layer of a node's stack (routing + application).
 ///
 /// One instance exists per node. All interaction with the world goes
-/// through the [`NodeApi`] handed into every callback: sending frames,
-/// scheduling timers, drawing randomness, bumping counters.
-pub trait Protocol: Sized {
+/// through the [`ProtoCtx`] handed into every callback: sending frames,
+/// scheduling timers, drawing named random choices, bumping counters.
+/// Handlers are generic over the context, so the identical protocol
+/// code runs under the engine's [`NodeApi`](crate::NodeApi), the
+/// `ag-check` model checker's enumerating context, and the conformance
+/// harness's replaying context.
+///
+/// The `Debug` supertrait is the observability half of that contract:
+/// a protocol's full state must be renderable so the engine can digest
+/// it per dispatch ([`state_digest`](crate::state_digest)) and the
+/// checker can canonicalize explored states.
+pub trait Protocol: Sized + fmt::Debug {
     /// The frame payload type this protocol family exchanges.
     type Msg: Message;
 
     /// Called once at simulation start (time zero), in node-id order.
     /// Schedule initial timers here.
-    fn start(&mut self, api: &mut NodeApi<'_, Self::Msg>);
+    fn start<C: ProtoCtx<Self::Msg>>(&mut self, ctx: &mut C);
 
     /// A frame arrived, already MAC-filtered: either unicast to this node
     /// or a broadcast it overheard.
-    fn on_packet(
+    fn on_packet<C: ProtoCtx<Self::Msg>>(
         &mut self,
-        api: &mut NodeApi<'_, Self::Msg>,
+        ctx: &mut C,
         from: NodeId,
         msg: Self::Msg,
         rx: RxKind,
     );
 
-    /// A timer scheduled via [`NodeApi::set_timer`] fired.
-    fn on_timer(&mut self, api: &mut NodeApi<'_, Self::Msg>, key: TimerKey);
+    /// A timer scheduled via [`ProtoCtx::set_timer`] fired.
+    fn on_timer<C: ProtoCtx<Self::Msg>>(&mut self, ctx: &mut C, key: TimerKey);
 
     /// A unicast of `msg` to `to` definitively failed: the MAC
     /// exhausted its retry limit, or a radio failure (churn) destroyed
     /// the frame while it was queued.
     ///
     /// MAODV uses this as its primary link-break detector.
-    fn on_send_failure(&mut self, api: &mut NodeApi<'_, Self::Msg>, to: NodeId, msg: Self::Msg);
+    fn on_send_failure<C: ProtoCtx<Self::Msg>>(&mut self, ctx: &mut C, to: NodeId, msg: Self::Msg);
 }
 
 #[cfg(test)]

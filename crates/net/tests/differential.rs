@@ -8,7 +8,7 @@ use ag_mobility::{
     Field, Mobility, PauseRange, RandomWalk, RandomWaypoint, SpeedRange, Stationary, Vec2,
 };
 use ag_net::{
-    ChurnParams, Engine, Message, NodeApi, NodeId, NodeSetup, PhyParams, Protocol, ReceptionModel,
+    ChurnParams, Engine, Message, NodeId, NodeSetup, PhyParams, ProtoCtx, Protocol, ReceptionModel,
     RxKind, TimerKey,
 };
 use ag_sim::rng::{SeedSplitter, StreamKind};
@@ -32,6 +32,7 @@ impl Message for Blob {
 /// A traffic generator that keeps the channel busy: every `interval`,
 /// each node alternates between broadcasting and unicasting to its ring
 /// neighbour, and logs everything it observes.
+#[derive(Debug)]
 struct Chatter {
     interval: SimDuration,
     node_count: u16,
@@ -57,18 +58,18 @@ impl Chatter {
 impl Protocol for Chatter {
     type Msg = Blob;
 
-    fn start(&mut self, api: &mut NodeApi<'_, Blob>) {
+    fn start<C: ProtoCtx<Blob>>(&mut self, api: &mut C) {
         // Stagger first transmissions by node id so not everyone keys up
         // at the same instant.
         let offset = SimDuration::from_millis(7 * (api.id().raw() as u64 + 1));
         api.set_timer(offset, 0);
     }
 
-    fn on_packet(&mut self, api: &mut NodeApi<'_, Blob>, from: NodeId, msg: Blob, rx: RxKind) {
+    fn on_packet<C: ProtoCtx<Blob>>(&mut self, api: &mut C, from: NodeId, msg: Blob, rx: RxKind) {
         self.received.push((api.now(), from, msg.tag, rx));
     }
 
-    fn on_timer(&mut self, api: &mut NodeApi<'_, Blob>, _key: TimerKey) {
+    fn on_timer<C: ProtoCtx<Blob>>(&mut self, api: &mut C, _key: TimerKey) {
         self.sent += 1;
         let tag = api.id().raw() as u32 * 100_000 + self.sent;
         if self.sent.is_multiple_of(3) && self.node_count > 1 {
@@ -89,7 +90,7 @@ impl Protocol for Chatter {
         api.set_timer(self.interval, 0);
     }
 
-    fn on_send_failure(&mut self, _api: &mut NodeApi<'_, Blob>, to: NodeId, msg: Blob) {
+    fn on_send_failure<C: ProtoCtx<Blob>>(&mut self, _api: &mut C, to: NodeId, msg: Blob) {
         self.failures.push((to, msg.tag));
     }
 }

@@ -5,9 +5,8 @@ use ag_sim::hash::DetHashMap as HashMap;
 use ag_maodv::delivery::{DeliveryLog, DeliveryPath};
 use ag_maodv::seen::SeenCache;
 use ag_maodv::{GroupId, TrafficSource};
-use ag_net::{NodeApi, NodeId, Protocol, RxKind, TimerKey};
+use ag_net::{NodeId, ProtoCtx, Protocol, RxKind, TimerKey};
 use ag_sim::{SimDuration, SimTime};
-use rand::Rng;
 
 use crate::{OdmrpConfig, OdmrpMsg};
 
@@ -50,7 +49,7 @@ struct BackRoute {
 /// e.run_until(SimTime::from_secs(30));
 /// assert_eq!(e.protocol(NodeId::new(1)).delivery().distinct(), 25);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OdmrpProtocol {
     cfg: OdmrpConfig,
     id: NodeId,
@@ -68,6 +67,11 @@ pub struct OdmrpProtocol {
     data_seen: SeenCache<(NodeId, u32)>,
     delivery: DeliveryLog,
     relay_queue: std::collections::VecDeque<OdmrpMsg>,
+    /// Seeded-bug canary (always `false` in production): when set, a
+    /// Join-Reply nominating this node does *not* refresh `fg_until`,
+    /// so the forwarding group silently decays. `ag-check` asserts its
+    /// delivery property catches exactly this mutation.
+    canary_skip_fg_refresh: bool,
 }
 
 impl OdmrpProtocol {
@@ -94,6 +98,7 @@ impl OdmrpProtocol {
             data_seen: SeenCache::new(cfg.seen_capacity),
             delivery: DeliveryLog::new(),
             relay_queue: std::collections::VecDeque::new(),
+            canary_skip_fg_refresh: false,
         }
     }
 
@@ -112,13 +117,19 @@ impl OdmrpProtocol {
         self.is_member
     }
 
-    fn schedule_relay(&mut self, api: &mut NodeApi<'_, OdmrpMsg>, msg: OdmrpMsg) {
+    /// Arms the skip-FG-refresh seeded bug (model-checking canary only).
+    #[cfg(any(test, feature = "bug-canary"))]
+    pub fn canary_skip_fg_refresh(&mut self) {
+        self.canary_skip_fg_refresh = true;
+    }
+
+    fn schedule_relay<C: ProtoCtx<OdmrpMsg>>(&mut self, api: &mut C, msg: OdmrpMsg) {
         self.relay_queue.push_back(msg);
-        let delay = SimDuration::from_micros(api.rng().random_range(0..10_000));
+        let delay = SimDuration::from_micros(api.jitter(10_000));
         api.set_timer(delay, TIMER_RELAY);
     }
 
-    fn flood_query(&mut self, api: &mut NodeApi<'_, OdmrpMsg>) {
+    fn flood_query<C: ProtoCtx<OdmrpMsg>>(&mut self, api: &mut C) {
         self.query_round += 1;
         self.query_seen.insert((self.id, self.query_round));
         api.count("odmrp.query_originated");
@@ -133,7 +144,7 @@ impl OdmrpProtocol {
 
     /// Sends the Join-Reply nominating our backward hop toward `source`
     /// (members answer queries; forwarding-group nodes cascade).
-    fn send_reply(&mut self, api: &mut NodeApi<'_, OdmrpMsg>, source: NodeId, round: u32) {
+    fn send_reply<C: ProtoCtx<OdmrpMsg>>(&mut self, api: &mut C, source: NodeId, round: u32) {
         if source == self.id {
             return;
         }
@@ -159,7 +170,7 @@ impl OdmrpProtocol {
 impl Protocol for OdmrpProtocol {
     type Msg = OdmrpMsg;
 
-    fn start(&mut self, api: &mut NodeApi<'_, OdmrpMsg>) {
+    fn start<C: ProtoCtx<OdmrpMsg>>(&mut self, api: &mut C) {
         if let Some(t) = self.traffic {
             // Queries lead the data by one interval so the mesh exists
             // when the first packet goes out.
@@ -173,9 +184,9 @@ impl Protocol for OdmrpProtocol {
         }
     }
 
-    fn on_packet(
+    fn on_packet<C: ProtoCtx<OdmrpMsg>>(
         &mut self,
-        api: &mut NodeApi<'_, OdmrpMsg>,
+        api: &mut C,
         from: NodeId,
         msg: OdmrpMsg,
         _rx: RxKind,
@@ -231,8 +242,10 @@ impl Protocol for OdmrpProtocol {
                 }
                 // Someone nominated us: we are (still) forwarding group.
                 if next_hop == self.id && source != self.id {
-                    self.fg_until = now + self.cfg.fg_lifetime;
-                    api.count("odmrp.fg_refreshed");
+                    if !self.canary_skip_fg_refresh {
+                        self.fg_until = now + self.cfg.fg_lifetime;
+                        api.count("odmrp.fg_refreshed");
+                    }
                     self.send_reply(api, source, round);
                 }
             }
@@ -271,7 +284,7 @@ impl Protocol for OdmrpProtocol {
         }
     }
 
-    fn on_timer(&mut self, api: &mut NodeApi<'_, OdmrpMsg>, key: TimerKey) {
+    fn on_timer<C: ProtoCtx<OdmrpMsg>>(&mut self, api: &mut C, key: TimerKey) {
         match key {
             TIMER_QUERY => {
                 if let Some(t) = self.traffic {
@@ -308,7 +321,12 @@ impl Protocol for OdmrpProtocol {
         }
     }
 
-    fn on_send_failure(&mut self, _api: &mut NodeApi<'_, OdmrpMsg>, _to: NodeId, _msg: OdmrpMsg) {
+    fn on_send_failure<C: ProtoCtx<OdmrpMsg>>(
+        &mut self,
+        _api: &mut C,
+        _to: NodeId,
+        _msg: OdmrpMsg,
+    ) {
         // ODMRP is broadcast-only; nothing unicasts, so nothing fails.
     }
 }

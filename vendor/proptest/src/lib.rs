@@ -8,16 +8,34 @@
 //! `prop_assert!`/`prop_assert_eq!` macros.
 //!
 //! Unlike the real proptest there is **no shrinking and no persistent
-//! failure file**: each property runs [`NUM_CASES`] cases drawn from a
-//! generator seeded by the test's name, so failures reproduce exactly
-//! on re-run but are reported with the raw (unshrunk) inputs.
+//! failure file**: each property runs [`num_cases`] cases ([`NUM_CASES`]
+//! unless the `AG_PROPTEST_CASES` environment variable overrides it)
+//! drawn from a generator seeded by the test's name, so failures
+//! reproduce exactly on re-run but are reported with the raw
+//! (unshrunk) inputs.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 
-/// Number of generated cases per property.
+/// Default number of generated cases per property.
 pub const NUM_CASES: u32 = 256;
+
+/// Number of cases each property runs: [`NUM_CASES`] unless the
+/// `AG_PROPTEST_CASES` environment variable overrides it (the real
+/// crate's `PROPTEST_CASES`, namespaced to this workspace). CI's
+/// nightly depth job sets it to a multiple of the default; a developer
+/// can set it to something small for a quick smoke pass. Invalid or
+/// zero values fall back to the default.
+pub fn num_cases() -> u32 {
+    match std::env::var("AG_PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => NUM_CASES,
+        },
+        Err(_) => NUM_CASES,
+    }
+}
 
 /// Deterministic case generator, seeded from the property's name so
 /// every run of a given test replays the identical case sequence.
@@ -211,7 +229,8 @@ macro_rules! prop_assert_eq {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
-/// becomes a `#[test]` running [`NUM_CASES`] generated cases.
+/// becomes a `#[test]` running [`num_cases`] generated cases
+/// ([`NUM_CASES`] by default, `AG_PROPTEST_CASES` to override).
 #[macro_export]
 macro_rules! proptest {
     ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
@@ -219,7 +238,7 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut case_rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-                for _ in 0..$crate::NUM_CASES {
+                for _ in 0..$crate::num_cases() {
                     $( let $arg = $crate::Strategy::generate(&($strat), &mut case_rng); )+
                     $body
                 }
@@ -287,5 +306,17 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = crate::TestRng::from_name("y");
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn case_count_defaults_and_rejects_garbage() {
+        // The suite does not set the env var, so the default applies;
+        // parse failures and zero must also fall back rather than
+        // silently running zero cases.
+        if std::env::var_os("AG_PROPTEST_CASES").is_none() {
+            assert_eq!(crate::num_cases(), crate::NUM_CASES);
+        } else {
+            assert!(crate::num_cases() > 0);
+        }
     }
 }
