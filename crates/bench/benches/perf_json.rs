@@ -30,6 +30,10 @@
 //! Determinism: all workloads are pure functions of fixed seeds; only
 //! the wall-clock timings vary between runs (allocation counts do not).
 
+// This harness measures real wall-clock time on purpose (it is the
+// bench crate, the wall-clock discipline's documented allowlist entry);
+// the attribute grants the same exception to the clippy layer.
+#![allow(clippy::disallowed_methods)]
 use std::collections::BTreeMap;
 use std::time::Instant;
 

@@ -246,7 +246,7 @@ mod tests {
         #[test]
         fn prop_lost_set_is_exactly_the_gaps(seqs in prop::collection::vec(1u32..60, 1..60)) {
             let mut lt = LostTable::new(1000);
-            let mut received = std::collections::HashSet::new();
+            let mut received = ag_sim::hash::DetHashSet::default();
             for &s in &seqs {
                 lt.observe(o(), s);
                 received.insert(s);

@@ -225,7 +225,7 @@ mod tests {
             mc.observe(id(n), 1, t(0));
         }
         let mut rng = SeedSplitter::new(2).stream(StreamKind::Node, 0);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ag_sim::hash::DetHashSet::default();
         for _ in 0..200 {
             seen.insert(mc.pick_random(&mut rng, id(99)).unwrap().node);
         }

@@ -156,6 +156,8 @@ mod tests {
         for threads in [1, 2, 8] {
             let out = run_seeds(16, Parallelism::new(threads), |seed| {
                 // Skew per-seed cost so completion order scrambles.
+                #[allow(clippy::disallowed_methods)]
+                // ag-lint: allow(wall-clock) -- deliberate skew; tests seed-order merge, not timing
                 std::thread::sleep(std::time::Duration::from_micros((16 - seed) * 200));
                 seed * 10
             });

@@ -1,0 +1,66 @@
+//! The `ag-lint` binary: scan the workspace, print findings, exit
+//! non-zero if any rule fired.
+//!
+//! ```text
+//! cargo run -p ag-lint [--release] [-- [--root <dir>] [--report <file>]]
+//! ```
+//!
+//! * `--root <dir>` — workspace checkout to scan; defaults to walking
+//!   up from the current directory (so it works from any crate dir).
+//! * `--report <file>` — also write the rendered report there (CI
+//!   uploads it as an artifact, pass or fail).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ag_lint::config::Config;
+use ag_lint::{find_workspace_root, run_workspace};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("ag-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ag-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match run_workspace(&root, &Config::workspace()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ag-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = report.render();
+    print!("{text}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("ag-lint: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

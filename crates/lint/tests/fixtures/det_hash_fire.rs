@@ -1,0 +1,14 @@
+//! must-fire: every default-hasher shape the det-hash rule polices.
+
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+pub fn build() -> u32 {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    let _seen: HashSet<u32> = HashSet::new();
+    let _heap = std::collections::BinaryHeap::<u32>::new();
+    let _state = std::collections::hash_map::RandomState::new();
+    let _ordered: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len() as u32
+}

@@ -1,0 +1,38 @@
+//! must-pass: deterministic replacements, waived oracle uses, exempt
+//! test code, and mentions inside strings/comments.
+
+use ag_sim::hash::{DetHashMap, DetHashSet};
+use std::collections::BTreeMap;
+
+pub struct Tables {
+    routes: DetHashMap<u32, u32>,
+    seen: DetHashSet<u32>,
+    ordered: BTreeMap<u32, u32>,
+}
+
+pub fn build() -> DetHashMap<u32, u32> {
+    // A doc mention of HashMap::new() in a comment is not a use.
+    let _msg = "neither is HashMap::new() in a string";
+    let mut m = DetHashMap::default();
+    m.insert(1, 2);
+    m
+}
+
+// ag-lint: allow(det-hash) -- fixture: the waived reference-oracle import shape
+use std::collections::BinaryHeap;
+
+// ag-lint: allow(det-hash) -- fixture: waived oracle type in a signature
+pub fn heap() -> BinaryHeap<u32> {
+    // ag-lint: allow(det-hash) -- fixture: waived oracle construction
+    BinaryHeap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        let _ = std::collections::HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,19 @@
+//! must-fire: allocation written inside a manifest hot-path function,
+//! plus the manifest-rot finding — the fixture manifest also names a
+//! `renamed_hot_fn` this file deliberately does not define.
+
+pub fn emit_receivers(words: &[u64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (w, &bits) in words.iter().enumerate() {
+        if bits != 0 {
+            out.push(w);
+        }
+    }
+    let labels: Vec<String> = out.iter().map(|i| format!("rx{i}")).collect();
+    drop(labels);
+    out.to_vec()
+}
+
+pub fn cold_path_allocates_freely() -> Vec<u8> {
+    Vec::new()
+}

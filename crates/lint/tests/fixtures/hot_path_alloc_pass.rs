@@ -1,0 +1,17 @@
+//! must-pass: the manifest function reuses caller-owned scratch (the
+//! take/restore pattern the engine uses); cold paths allocate freely.
+
+pub fn emit_receivers(scratch: &mut Vec<usize>, words: &[u64]) {
+    scratch.clear();
+    for (w, &bits) in words.iter().enumerate() {
+        if bits != 0 {
+            scratch.push(w);
+        }
+    }
+}
+
+pub fn cold_setup() -> Vec<usize> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

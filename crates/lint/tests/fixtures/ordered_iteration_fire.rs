@@ -1,0 +1,14 @@
+//! must-fire: hash-order iteration feeding rendered output.
+
+use ag_sim::hash::DetHashMap;
+
+pub fn render(per_node: &DetHashMap<u32, u64>) -> String {
+    let mut out = String::new();
+    for (node, goodput) in per_node.iter() {
+        out.push_str(&format!("{node} {goodput}\n"));
+    }
+    for node in per_node.keys() {
+        out.push_str(&format!("{node}\n"));
+    }
+    out
+}

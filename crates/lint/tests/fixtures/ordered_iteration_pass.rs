@@ -1,0 +1,19 @@
+//! must-pass: collect-then-sort before rendering, and a waived
+//! order-independent fold.
+
+use ag_sim::hash::DetHashMap;
+
+pub fn render(per_node: &DetHashMap<u32, u64>) -> String {
+    let mut rows: Vec<(u32, u64)> = per_node.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_unstable();
+    let mut out = String::new();
+    for (node, goodput) in rows {
+        out.push_str(&format!("{node} {goodput}\n"));
+    }
+    out
+}
+
+pub fn total(per_node: &DetHashMap<u32, u64>) -> u64 {
+    // ag-lint: allow(ordered-iteration) -- fixture: order-independent sum
+    per_node.values().sum()
+}

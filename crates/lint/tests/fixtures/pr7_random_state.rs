@@ -1,0 +1,24 @@
+//! Regression fixture: the exact shape of the PR-7 `RandomState` bug.
+//!
+//! Before PR 7, protocol tables used std's default-hasher maps. The
+//! simulation *results* were iteration-order independent, but the
+//! per-process SipHash keys changed map growth patterns, wobbling
+//! allocation counts by a handful per run — which the exact-integer
+//! alloc gate cannot tolerate. det-hash must flag every piece of this
+//! shape: the import, and each default-hasher constructor.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Node {
+    pending_joins: HashMap<(u32, u32), u8>,
+    seen: HashSet<(u64, u32)>,
+}
+
+impl Node {
+    pub fn new() -> Self {
+        Node {
+            pending_joins: HashMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+}

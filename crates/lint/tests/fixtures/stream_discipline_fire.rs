@@ -1,0 +1,13 @@
+//! must-fire: ad-hoc RNG construction outside the StreamKind helpers.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn ad_hoc(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn entropy_and_thread_rng() {
+    let _r = SmallRng::from_entropy();
+    let _t = rand::thread_rng();
+}

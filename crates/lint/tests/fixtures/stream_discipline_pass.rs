@@ -1,0 +1,18 @@
+//! must-pass: StreamKind-keyed construction, and test-local seeding
+//! (unit tests probe components with throwaway fixed seeds).
+
+use ag_sim::rng::{SeedSplitter, StreamKind};
+
+pub fn keyed(seed: u64, node: u64) -> impl Sized {
+    SeedSplitter::new(seed).stream(StreamKind::Node, node)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_seed_directly() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let _rng = SmallRng::seed_from_u64(1);
+    }
+}

@@ -1,0 +1,7 @@
+//! must-pass: a well-formed waiver — named rule, `--`, non-empty
+//! reason — suppresses its finding and raises nothing itself.
+
+pub fn waived() {
+    // ag-lint: allow(wall-clock) -- fixture: documented driver timing
+    let _t0 = std::time::Instant::now();
+}

@@ -1,0 +1,19 @@
+//! must-fire: host-clock reads — including inside test code, which is
+//! exactly where timing nondeterminism usually sneaks into CI.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn elapsed() -> Duration {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_still_flagged() {
+        let _t0 = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,13 @@
+//! must-pass: simulation time arithmetic, a waived driver-side read,
+//! and clock mentions in strings/comments.
+
+pub fn sim_time_only(now_ns: u64, delta_ns: u64) -> u64 {
+    // Instant::now() in a comment is not a clock read.
+    let _msg = "SystemTime::now() in a string is not a clock read";
+    now_ns + delta_ns
+}
+
+pub fn waived_driver_timing() {
+    // ag-lint: allow(wall-clock) -- fixture: driver-side progress timing
+    let _t0 = std::time::Instant::now();
+}

@@ -1,0 +1,54 @@
+//! The workspace self-run: `cargo test -q` asserts the tree is
+//! lint-clean, so the gate runs even when nobody remembers the binary.
+
+use std::path::Path;
+
+use ag_lint::config::Config;
+use ag_lint::{find_workspace_root, run_workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = run_workspace(&root, &Config::workspace()).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "the workspace has ag-lint findings:\n{}",
+        report.render()
+    );
+    // The walker really walked the tree (and didn't, say, start from
+    // the wrong root and scan three files to a vacuous green).
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    // Every waiver in the tree must be load-bearing: a waiver whose
+    // finding is gone is stale documentation and should be deleted.
+    assert_eq!(
+        report.waivers_used, report.waivers_present,
+        "stale waiver(s): {} present, only {} suppress anything",
+        report.waivers_present, report.waivers_used
+    );
+}
+
+#[test]
+fn hot_path_manifest_matches_the_sources() {
+    // The manifest-rot check: every function the workspace config
+    // names must still exist in its file. (A rename would otherwise
+    // silently shrink hot-path coverage; the rule reports it as a
+    // finding, which the clean-run assertion above also catches — this
+    // test just localizes the failure.)
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let cfg = Config::workspace();
+    for (file, fns) in &cfg.hot_path_manifest {
+        let src = std::fs::read_to_string(root.join(file)).expect("manifest file readable");
+        for name in fns {
+            assert!(
+                src.contains(&format!("fn {name}")),
+                "hot-path manifest names `fn {name}` missing from {file}"
+            );
+        }
+    }
+}

@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn equal_keys_hash_equal_and_distinct_keys_spread() {
         assert_eq!(hash_of(&(7u32, 9u32)), hash_of(&(7u32, 9u32)));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = DetHashSet::default();
         for i in 0..10_000u64 {
             seen.insert(hash_of(&i));
         }

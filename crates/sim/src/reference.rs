@@ -18,6 +18,7 @@
 //! path honest.
 
 use std::cmp::Ordering;
+// ag-lint: allow(det-hash) -- frozen seed-vintage reference oracle; the calendar queue is diffed against it
 use std::collections::BinaryHeap;
 
 use crate::{EventEntry, SimTime};
@@ -70,6 +71,7 @@ impl<E> Ord for HeapEntry<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BinaryHeapQueue<E> {
+    // ag-lint: allow(det-hash) -- the reference queue IS the seed BinaryHeap, preserved on purpose
     heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
     popped: u64,
@@ -79,6 +81,7 @@ impl<E> BinaryHeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         BinaryHeapQueue {
+            // ag-lint: allow(det-hash) -- constructing the frozen reference oracle
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,

@@ -115,8 +115,8 @@ impl SeedSplitter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::DetHashSet;
     use rand::Rng;
-    use std::collections::HashSet;
 
     #[test]
     fn streams_are_reproducible() {
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn streams_differ_by_index_and_kind() {
         let s = SeedSplitter::new(7);
-        let mut seeds = HashSet::new();
+        let mut seeds = DetHashSet::default();
         for kind in [
             StreamKind::Node,
             StreamKind::Mobility,
