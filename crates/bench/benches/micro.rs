@@ -72,7 +72,7 @@ fn gossip_tables(c: &mut Criterion) {
         let mut rng = SeedSplitter::new(9).stream(StreamKind::Node, 0);
         b.iter(|| {
             let mut mc = MemberCache::new(10);
-            for i in 0..64u16 {
+            for i in 0..64u32 {
                 mc.observe(NodeId::new(i), (i % 9) as u8 + 1, SimTime::ZERO);
             }
             black_box(mc.pick_random(&mut rng, NodeId::new(0)))

@@ -66,7 +66,9 @@ fn maybe_with_allocs(leg: Leg, allocs: u64) -> Leg {
     }
 }
 use ag_bench::{beacon_engine, dense_engine};
-use ag_harness::{run_counting, ChurnParams, ProtocolKind, ReceptionModel, Scenario};
+use ag_harness::{
+    run_counting, run_seeds, ChurnParams, Parallelism, ProtocolKind, ReceptionModel, Scenario,
+};
 use ag_sim::reference::BinaryHeapQueue;
 use ag_sim::{EventQueue, SimDuration, SimTime};
 
@@ -183,7 +185,7 @@ fn engine_leg(
     }
 }
 
-fn stress_matrix_run(sim_secs: u64, seeds: &[u64]) -> (u64, f64) {
+fn stress_matrix_run(sim_secs: u64, seeds: &[u64], par: Parallelism) -> (u64, f64) {
     // The harshest cell family of the stress matrix: log-normal
     // shadowing, aggressive churn, vehicular speed.
     let mut sc = Scenario::paper(40, 75.0, 2.0)
@@ -193,30 +195,70 @@ fn stress_matrix_run(sim_secs: u64, seeds: &[u64]) -> (u64, f64) {
             path_loss_exp: 3.0,
         });
     sc.churn = Some(ChurnParams::new(40.0, 20.0));
-    let mut events = 0u64;
-    let start = Instant::now();
-    for kind in [
+    // The 3 protocols × N seeds jobs are independent pure functions of
+    // `(scenario, seed)`; farm them over the caller's worker pool
+    // (`AG_THREADS` for the timed region, pinned serial for the alloc
+    // pass). Results come back in job order, so the event total — and
+    // every simulation output — is identical to the serial loop for
+    // any worker count; only the wall-clock denominator changes with
+    // the host's core budget.
+    let kinds = [
         ProtocolKind::Gossip,
         ProtocolKind::Maodv,
         ProtocolKind::Odmrp,
-    ] {
-        for &seed in seeds {
-            events += run_counting(&sc, seed, kind).1;
-        }
-    }
+    ];
+    let jobs = (kinds.len() * seeds.len()) as u64;
+    let start = Instant::now();
+    let events = run_seeds(jobs, par, |job| {
+        let kind = kinds[job as usize / seeds.len()];
+        let seed = seeds[job as usize % seeds.len()];
+        run_counting(&sc, seed, kind).1
+    })
+    .iter()
+    .sum();
     (events, start.elapsed().as_secs_f64())
 }
 
 fn stress_matrix_leg(repeats: usize, sim_secs: u64, seeds: &[u64]) -> Leg {
-    let mut events = 0;
-    let mut allocs = 0u64;
-    let secs = best_of(repeats, || {
-        // Unlike the engine legs, the alloc count here spans the whole
-        // timed region including engine construction — an honest total
-        // for the full-stack workload rather than a steady-state probe.
+    // Unlike the engine legs, the alloc count spans a whole run
+    // including engine construction — an honest total for the
+    // full-stack workload rather than a steady-state probe. It is
+    // measured in a separate, always-serial pass: the timed region
+    // below parallelizes across `AG_THREADS`, and worker-pool
+    // bookkeeping (thread stacks, join handles) would make a
+    // whole-region count depend on the host's core budget — fatal
+    // for the exact-integer alloc gate, whose baseline must
+    // reproduce on any machine. The pass runs *before* the timed
+    // region for the same reason: run order is part of the count
+    // (first-touch thread-local and lazy-global allocations land in
+    // whichever stress pass goes first, and if the parallel region
+    // went first they would land on its worker threads or not,
+    // depending on the pool size). Serial pass first, the count only
+    // depends on the always-serial legs that precede it.
+    let allocs = if cfg!(feature = "alloc-count") {
+        // Engines built through the harness wire `AG_THREADS` into the
+        // tile-sharded engine, which allocates its worker lanes
+        // eagerly — so the env knob must be pinned too, or the count
+        // would differ between a 1-core and an 8-core host even with
+        // the job pool serial. Save/restore is race-free: the process
+        // is still single-threaded here (the parallel timed region
+        // runs after this pass, and every earlier leg is serial).
+        let saved = std::env::var_os("AG_THREADS");
+        std::env::set_var("AG_THREADS", "1");
         let a0 = alloc_count();
-        let (ev, secs) = stress_matrix_run(sim_secs, seeds);
-        allocs = alloc_count() - a0;
+        stress_matrix_run(sim_secs, seeds, Parallelism::serial());
+        let counted = alloc_count() - a0;
+        match saved {
+            Some(v) => std::env::set_var("AG_THREADS", v),
+            None => std::env::remove_var("AG_THREADS"),
+        }
+        counted
+    } else {
+        0
+    };
+    let mut events = 0;
+    let secs = best_of(repeats, || {
+        let (ev, secs) = stress_matrix_run(sim_secs, seeds, Parallelism::auto());
         events = ev;
         secs
     });

@@ -166,6 +166,18 @@ pub fn extract_allocs(json: &str) -> Vec<(String, u64)> {
     out
 }
 
+/// Recovers the document-level `peak_rss_kb` field from a
+/// `BENCH_*.json` document; `None` when absent or zero (platforms
+/// without procfs write 0, which means "unmeasured", not "no memory").
+pub fn extract_peak_rss_kb(json: &str) -> Option<u64> {
+    for line in json.lines() {
+        if let Some(v) = field_num(line, "\"peak_rss_kb\": ") {
+            return (v > 0.0).then_some(v as u64);
+        }
+    }
+    None
+}
+
 fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let start = line.find(key)? + key.len();
     let rest = &line[start..];
@@ -197,6 +209,14 @@ pub const CALIBRATION_LEG: &str = "queue_heap_steady";
 /// `queue_calendar_steady`, which tracks the calibration leg's workload
 /// shape and holds within a few percent run-to-run.
 pub const INFORMATIONAL_LEGS: [&str; 2] = ["queue_calendar_dense_ties", "queue_heap_dense_ties"];
+
+/// Headroom the peak-RSS gate allows over the baseline. Peak RSS is
+/// *almost* deterministic (same binary, same seeds), but worker-thread
+/// stacks, allocator arena pooling and page-level accounting wobble it
+/// a few percent between hosts; the regressions worth catching — a
+/// struct-of-arrays diet quietly reverted, an index growing a per-node
+/// field — are step changes far beyond this margin.
+pub const RSS_TOLERANCE: f64 = 0.25;
 
 /// Compares a fresh `BENCH_*.json` against a committed baseline.
 ///
@@ -276,6 +296,26 @@ pub fn compare(baseline_json: &str, current_json: &str, tolerance: f64) -> Resul
             } else {
                 let _ = writeln!(report, "ok   {name}: allocations {now} (baseline {base})");
             }
+        }
+    }
+    // Peak-RSS gate: catches memory regressions the per-leg figures
+    // can't see (the events/second of a run that quietly doubled its
+    // resident set looks fine). Gated with [`RSS_TOLERANCE`] headroom;
+    // skipped when either side lacks a measurement.
+    if let (Some(base), Some(now)) = (
+        extract_peak_rss_kb(baseline_json),
+        extract_peak_rss_kb(current_json),
+    ) {
+        let limit = (base as f64 * (1.0 + RSS_TOLERANCE)) as u64;
+        if now > limit {
+            failed = true;
+            let _ = writeln!(
+                report,
+                "FAIL peak_rss_kb: {now} vs baseline {base} (> +{:.0}%)",
+                RSS_TOLERANCE * 100.0
+            );
+        } else {
+            let _ = writeln!(report, "ok   peak_rss_kb: {now} (baseline {base})");
         }
     }
     if failed {
@@ -452,6 +492,29 @@ mod tests {
             0.10
         )
         .is_ok());
+    }
+
+    #[test]
+    fn peak_rss_gate_allows_headroom_but_fails_step_changes() {
+        let mk = |rss: u64| {
+            render_json(
+                8,
+                &[Leg::new("engine_beacon", 1_000_000, 1.0)],
+                &BTreeMap::new(),
+                rss,
+            )
+        };
+        assert_eq!(extract_peak_rss_kb(&mk(60_000)), Some(60_000));
+        // Zero means "unmeasured" (no procfs), never a baseline of 0 kB.
+        assert_eq!(extract_peak_rss_kb(&mk(0)), None);
+        // Within the tolerance band: passes.
+        assert!(compare(&mk(60_000), &mk(70_000), 0.10).is_ok());
+        // A doubling fails even with every leg's timing identical.
+        let report = compare(&mk(60_000), &mk(120_000), 0.10).expect_err("rss step must fail");
+        assert!(report.contains("FAIL peak_rss_kb"));
+        // Unmeasured on either side: the gate stands down.
+        assert!(compare(&mk(0), &mk(120_000), 0.10).is_ok());
+        assert!(compare(&mk(60_000), &mk(0), 0.10).is_ok());
     }
 
     #[test]

@@ -49,7 +49,7 @@ const MAX_CASCADE: usize = 10_000;
 pub struct NetModel<P: Protocol + Clone> {
     protocols: Vec<P>,
     /// Directed links `(from, to)`, two per adjacency pair.
-    links: Vec<(u16, u16)>,
+    links: Vec<(u32, u32)>,
     horizon: SimTime,
     end_time: SimTime,
     drop_budget: u8,
@@ -71,12 +71,12 @@ impl<P: Protocol + Clone> NetModel<P> {
     /// of range.
     pub fn new(
         protocols: Vec<P>,
-        adjacency: &[(u16, u16)],
+        adjacency: &[(u32, u32)],
         horizon: SimTime,
         end_time: SimTime,
     ) -> Self {
         assert!(end_time >= horizon, "end_time must be >= horizon");
-        let n = protocols.len() as u16;
+        let n = protocols.len() as u32;
         let mut links = Vec::with_capacity(adjacency.len() * 2);
         for &(a, b) in adjacency {
             assert!(a < n && b < n && a != b, "bad adjacency ({a},{b})");
@@ -123,7 +123,7 @@ impl<P: Protocol + Clone> NetModel<P> {
         self
     }
 
-    fn link_index(&self, from: u16, to: u16) -> Option<usize> {
+    fn link_index(&self, from: u32, to: u32) -> Option<usize> {
         self.links.iter().position(|&l| l == (from, to))
     }
 
@@ -162,7 +162,7 @@ pub struct NetState<P: Protocol + Clone> {
     /// FIFO frame channels, parallel to the model's directed links.
     pub channels: Vec<VecDeque<(P::Msg, RxKind)>>,
     /// Pending timers `(at, node, key)`, sorted.
-    pub timers: Vec<(SimTime, u16, TimerKey)>,
+    pub timers: Vec<(SimTime, u32, TimerKey)>,
     /// Remaining adversarial drops.
     pub drops_left: u8,
     /// Remaining adversarial churn toggles.
@@ -186,14 +186,14 @@ pub enum NetAction {
     /// Deliver the head frame of the `from → to` channel.
     Deliver {
         /// Directed link `(from, to)`.
-        link: (u16, u16),
+        link: (u32, u32),
         /// Named-choice outcomes of the triggered handler(s).
         tape: Vec<usize>,
     },
     /// Adversarially destroy the head frame of `from → to`.
     Drop {
         /// Directed link `(from, to)`.
-        link: (u16, u16),
+        link: (u32, u32),
         /// Named-choice outcomes (unicast drops run the sender's
         /// `on_send_failure`).
         tape: Vec<usize>,
@@ -201,7 +201,7 @@ pub enum NetAction {
     /// Fire a timer due at the current instant.
     Fire {
         /// The node whose timer fires.
-        node: u16,
+        node: u32,
         /// The timer key.
         key: TimerKey,
         /// Named-choice outcomes of `on_timer`.
@@ -210,7 +210,7 @@ pub enum NetAction {
     /// Toggle a node's radio.
     Churn {
         /// The toggled node.
-        node: u16,
+        node: u32,
     },
     /// Jump to the next timer instant (channels drained, nothing due).
     Advance {
@@ -389,7 +389,7 @@ impl<P: Protocol + Clone> NetModel<P> {
             );
             let mut ctx = CheckCtx {
                 now: st.now,
-                id: NodeId::new(n as u16),
+                id: NodeId::new(n as u32),
                 node_count: st.nodes.len(),
                 tape,
                 effects: Vec::new(),
@@ -413,7 +413,7 @@ impl<P: Protocol + Clone> NetModel<P> {
                 // Parked timer: its firing would land beyond the active
                 // horizon, so it can never be observed.
                 if at <= self.horizon {
-                    st.timers.push((at, n as u16, key));
+                    st.timers.push((at, n as u32, key));
                 }
             }
             for eff in effects {
@@ -422,7 +422,7 @@ impl<P: Protocol + Clone> NetModel<P> {
                         // A down radio's unicasts die in its MAC queue;
                         // so do unicasts to nodes that were never in
                         // range. Both surface as send failures.
-                        let li = self.link_index(n as u16, dest.raw());
+                        let li = self.link_index(n as u32, dest.raw());
                         match li {
                             Some(li) if st.alive[n] => {
                                 st.channels[li].push_back((msg, RxKind::Unicast));
@@ -435,7 +435,7 @@ impl<P: Protocol + Clone> NetModel<P> {
                             continue;
                         }
                         for (li, &(from, _)) in self.links.iter().enumerate() {
-                            if from == n as u16 {
+                            if from == n as u32 {
                                 st.channels[li].push_back((msg.clone(), RxKind::Broadcast));
                             }
                         }
@@ -620,7 +620,7 @@ impl<P: Protocol + Clone> Machine for NetModel<P> {
                 let mut next = st.clone();
                 next.alive[node] = !next.alive[node];
                 next.churns_left -= 1;
-                out.push((NetAction::Churn { node: node as u16 }, next));
+                out.push((NetAction::Churn { node: node as u32 }, next));
             }
         }
         // 4. Time: only once everything in flight has resolved.

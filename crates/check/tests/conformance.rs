@@ -19,7 +19,7 @@ use ag_sim::{SimDuration, SimTime};
 
 /// Five stationary nodes on a line, 40 m apart (75 m radio range, so
 /// only adjacent nodes hear each other).
-fn line_positions(n: u16) -> Vec<Box<dyn ag_mobility::Mobility>> {
+fn line_positions(n: u32) -> Vec<Box<dyn ag_mobility::Mobility>> {
     (0..n)
         .map(|i| {
             Box::new(Stationary::new(Vec2::new(40.0 * f64::from(i), 0.0)))
@@ -38,7 +38,7 @@ fn maodv_trace_replays_through_the_facade() {
         20,
         64,
     );
-    let build = |i: u16| {
+    let build = |i: u32| {
         MaodvProtocol::new(
             cfg,
             NodeId::new(i),
@@ -52,7 +52,7 @@ fn maodv_trace_replays_through_the_facade() {
         .enumerate()
         .map(|(i, mobility)| NodeSetup {
             mobility,
-            protocol: build(i as u16),
+            protocol: build(i as u32),
         })
         .collect();
     let mut e = Engine::new_traced(PhyParams::paper_default(75.0), 7, nodes);
@@ -76,13 +76,13 @@ fn odmrp_trace_replays_through_the_facade() {
         64,
     );
     let build =
-        |i: u16| OdmrpProtocol::new(cfg, NodeId::new(i), g, i != 2, (i == 0).then_some(traffic));
+        |i: u32| OdmrpProtocol::new(cfg, NodeId::new(i), g, i != 2, (i == 0).then_some(traffic));
     let nodes = line_positions(5)
         .into_iter()
         .enumerate()
         .map(|(i, mobility)| NodeSetup {
             mobility,
-            protocol: build(i as u16),
+            protocol: build(i as u32),
         })
         .collect();
     let mut e = Engine::new_traced(PhyParams::paper_default(75.0), 11, nodes);
@@ -106,7 +106,7 @@ fn gossip_trace_replays_through_the_facade() {
         30,
         64,
     );
-    let build = |i: u16| {
+    let build = |i: u32| {
         AnonymousGossip::new(
             cfg,
             maodv_cfg,
@@ -121,7 +121,7 @@ fn gossip_trace_replays_through_the_facade() {
         .enumerate()
         .map(|(i, mobility)| NodeSetup {
             mobility,
-            protocol: build(i as u16),
+            protocol: build(i as u32),
         })
         .collect();
     let mut e = Engine::new_traced(PhyParams::paper_default(75.0), 23, nodes);

@@ -68,7 +68,7 @@ fn maodv_cfg() -> MaodvConfig {
 fn warmed_model() -> NetModel<AnonymousGossip> {
     let traffic =
         TrafficSource::compact(SimTime::from_millis(5500), SimDuration::from_secs(1), 2, 64);
-    let protocols: Vec<AnonymousGossip> = (0..N as u16)
+    let protocols: Vec<AnonymousGossip> = (0..N as u32)
         .map(|i| {
             AnonymousGossip::new(
                 ag_cfg(),
@@ -109,7 +109,7 @@ struct Obs {
     expected: u32,
     recovered_via_gossip: bool,
     drops_used: u8,
-    upstream: [Option<u16>; N],
+    upstream: [Option<u32>; N],
 }
 
 fn observe(model: &NetModel<AnonymousGossip>) -> impl Fn(&NetState<AnonymousGossip>) -> Obs + '_ {
@@ -135,7 +135,7 @@ fn observe(model: &NetModel<AnonymousGossip>) -> impl Fn(&NetState<AnonymousGoss
     }
 }
 
-fn upstream_acyclic(upstream: &[Option<u16>; N]) -> bool {
+fn upstream_acyclic(upstream: &[Option<u32>; N]) -> bool {
     for start in 0..N {
         let mut cur = start;
         for _ in 0..=N {

@@ -47,7 +47,7 @@ fn cfg(hello_ms: u64, flood_ttl: u8) -> MaodvConfig {
     }
 }
 
-fn line_protocols(n: u16, members: &[u16], c: MaodvConfig, arm_canary: bool) -> Vec<MaodvProtocol> {
+fn line_protocols(n: u32, members: &[u32], c: MaodvConfig, arm_canary: bool) -> Vec<MaodvProtocol> {
     (0..n)
         .map(|i| {
             let mut p =
@@ -63,7 +63,7 @@ fn line_protocols(n: u16, members: &[u16], c: MaodvConfig, arm_canary: bool) -> 
 /// The property-relevant projection: upstream pointers + tree shape.
 #[derive(Debug, Clone)]
 struct Obs {
-    upstream: Vec<Option<u16>>,
+    upstream: Vec<Option<u32>>,
     on_tree: Vec<bool>,
     leader: Vec<bool>,
 }
@@ -81,7 +81,7 @@ fn observe(st: &NetState<MaodvProtocol>) -> Obs {
 }
 
 /// `true` iff following upstream pointers never revisits a node.
-fn upstream_acyclic(upstream: &[Option<u16>]) -> bool {
+fn upstream_acyclic(upstream: &[Option<u32>]) -> bool {
     let n = upstream.len();
     for start in 0..n {
         let mut cur = start;

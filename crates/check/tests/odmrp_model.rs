@@ -35,7 +35,7 @@ fn cfg() -> OdmrpConfig {
 fn chain_model(arm_canary: bool, drop_budget: u8) -> NetModel<OdmrpProtocol> {
     // Packets at t = 2 s and t = 4 s; queries at t = 0, 2, 4.
     let traffic = TrafficSource::compact(SimTime::from_secs(2), SimDuration::from_secs(2), 2, 64);
-    let protocols: Vec<OdmrpProtocol> = (0..N as u16)
+    let protocols: Vec<OdmrpProtocol> = (0..N as u32)
         .map(|i| {
             let mut p = OdmrpProtocol::new(
                 cfg(),

@@ -41,13 +41,13 @@ fn cfg(hello_ms: u64, retries: u32, grph_ms: u64) -> MaodvConfig {
     }
 }
 
-fn protos(n: u16, members: &[u16], c: MaodvConfig) -> Vec<MaodvProtocol> {
+fn protos(n: u32, members: &[u32], c: MaodvConfig) -> Vec<MaodvProtocol> {
     (0..n)
         .map(|i| MaodvProtocol::new(c, NodeId::new(i), GroupId(0), members.contains(&i), None))
         .collect()
 }
 
-fn obs(st: &NetState<MaodvProtocol>) -> (SimTime, Vec<Option<u16>>, Vec<bool>) {
+fn obs(st: &NetState<MaodvProtocol>) -> (SimTime, Vec<Option<u32>>, Vec<bool>) {
     (
         st.now,
         st.nodes

@@ -36,9 +36,14 @@ impl HistoryTable {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "history table needs capacity");
+        // `capacity` bounds eviction, not allocation: storage starts
+        // empty and grows on demand, so the millions of history tables
+        // a metropolis run builds cost nothing until a node actually
+        // stores packets. Iteration goes through `order` (a FIFO), so
+        // the map's bucket count cannot influence behaviour.
         HistoryTable {
-            by_id: HashMap::with_capacity_and_hasher(capacity, Default::default()),
-            order: VecDeque::with_capacity(capacity),
+            by_id: HashMap::default(),
+            order: VecDeque::new(),
             capacity,
         }
     }
@@ -95,7 +100,7 @@ mod tests {
     use ag_net::NodeId;
     use proptest::prelude::*;
 
-    fn rec(origin: u16, seq: u32) -> PacketRecord {
+    fn rec(origin: u32, seq: u32) -> PacketRecord {
         PacketRecord {
             id: PacketId::new(NodeId::new(origin), seq),
             payload_len: 64,

@@ -161,7 +161,7 @@ mod tests {
     use ag_sim::rng::{SeedSplitter, StreamKind};
     use ag_sim::SimDuration;
 
-    fn id(n: u16) -> NodeId {
+    fn id(n: u32) -> NodeId {
         NodeId::new(n)
     }
 

@@ -116,7 +116,7 @@ impl Message for AgMsg {
 mod tests {
     use super::*;
 
-    fn id(n: u16) -> NodeId {
+    fn id(n: u32) -> NodeId {
         NodeId::new(n)
     }
 

@@ -570,7 +570,7 @@ mod tests {
         }
     }
 
-    fn id(n: u16) -> NodeId {
+    fn id(n: u32) -> NodeId {
         NodeId::new(n)
     }
 
@@ -631,7 +631,7 @@ mod tests {
 
     // ── select_reply_packets (the §4.4 reply rule) ──
 
-    fn history_with(origin: u16, seqs: &[u32]) -> HistoryTable {
+    fn history_with(origin: u32, seqs: &[u32]) -> HistoryTable {
         let mut h = HistoryTable::new(100);
         for &s in seqs {
             h.push(crate::PacketRecord {
@@ -735,7 +735,7 @@ mod tests {
         });
         let cfg = AgConfig::paper_default();
         let r = request(vec![], vec![(id(1), 3), (id(2), 7)]);
-        let mut got: Vec<(u16, u32)> = select_reply_packets(&h, &r, &cfg)
+        let mut got: Vec<(u32, u32)> = select_reply_packets(&h, &r, &cfg)
             .iter()
             .map(|p| (p.id.origin.raw(), p.id.seq))
             .collect();
@@ -784,7 +784,7 @@ mod tests {
         }
     }
 
-    fn ag_node(i: u16, member: bool, traffic: Option<TrafficSource>) -> AnonymousGossip {
+    fn ag_node(i: u32, member: bool, traffic: Option<TrafficSource>) -> AnonymousGossip {
         AnonymousGossip::new(
             AgConfig::paper_default(),
             MaodvConfig::paper_default(),
@@ -975,7 +975,7 @@ mod tests {
             ];
             let mut e = Engine::new(PhyParams::paper_default(90.0), seed, nodes);
             e.run_until(SimTime::from_secs(60));
-            (0..3u16)
+            (0..3u32)
                 .map(|i| {
                     let p = e.protocol(id(i));
                     (

@@ -42,7 +42,7 @@ pub mod report;
 
 pub use ag_net::{ChurnParams, ReceptionModel};
 pub use parallel::{run_seeds, Parallelism};
-pub use result::{MemberStats, RunResult};
+pub use result::{MemberStats, RunResult, RunStats};
 pub use scenario::{
     run, run_counting, run_gossip, run_gossip_counting, run_maodv, run_maodv_counting, run_odmrp,
     run_odmrp_counting, ProtocolKind, Scenario, GROUP,

@@ -19,10 +19,26 @@ pub fn env_seeds() -> u64 {
 /// Environment knob: run length in seconds (`AG_SIM_SECS`, default 600
 /// — the paper's). Scaled runs keep the paper's warm-up proportions.
 pub fn env_sim_secs() -> u64 {
+    env_sim_secs_or(600)
+}
+
+/// [`env_sim_secs`] with a caller-chosen default, for workloads whose
+/// natural length is not the paper's 600 s (the city-scale example
+/// defaults to 60 s).
+pub fn env_sim_secs_or(default: u64) -> u64 {
     std::env::var("AG_SIM_SECS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(600)
+        .unwrap_or(default)
+}
+
+/// Environment knob: node count for the scale examples (`AG_NODES`;
+/// the caller supplies its default — 500 for `city_scale`).
+pub fn env_nodes(default: usize) -> usize {
+    std::env::var("AG_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Renders a line figure as a fixed-width table mirroring the paper's

@@ -216,7 +216,7 @@ impl MulticastRouteTable {
 mod tests {
     use super::*;
 
-    fn id(n: u16) -> NodeId {
+    fn id(n: u32) -> NodeId {
         NodeId::new(n)
     }
 

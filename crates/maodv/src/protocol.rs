@@ -283,7 +283,7 @@ mod tests {
                 mobility: stationary(x, y),
                 protocol: MaodvProtocol::new(
                     cfg,
-                    NodeId::new(i as u16),
+                    NodeId::new(i as u32),
                     g,
                     members.contains(&i),
                     (i == source).then_some(traffic),
@@ -601,14 +601,14 @@ mod tests {
             36,
         );
         e.run_until(SimTime::from_secs(180));
-        for m in [0u16, 2, 4] {
+        for m in [0u32, 2, 4] {
             assert!(
                 e.protocol(NodeId::new(m)).node().on_tree(),
                 "member {m} must be (re)joined"
             );
         }
         // Delivery must be near-total despite any transient churn.
-        for m in [2u16, 4] {
+        for m in [2u32, 4] {
             let got = e.protocol(NodeId::new(m)).delivery().distinct();
             assert!(got >= 290, "member {m} got only {got}/300");
         }

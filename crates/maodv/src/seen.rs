@@ -37,9 +37,16 @@ impl<K: Eq + Hash + Clone> SeenCache<K> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "seen cache needs capacity");
+        // `capacity` bounds eviction, not allocation: storage starts
+        // empty and grows on demand. A metropolis run builds millions
+        // of these caches and most nodes never relay enough distinct
+        // keys to fill one, so preallocating `capacity` slots would
+        // dominate per-node memory (it used to cost ~40 KiB/node).
+        // The set is membership-only (never iterated), so its bucket
+        // count cannot influence behaviour.
         SeenCache {
-            set: HashSet::with_capacity_and_hasher(capacity, Default::default()),
-            order: VecDeque::with_capacity(capacity),
+            set: HashSet::default(),
+            order: VecDeque::new(),
             capacity,
         }
     }

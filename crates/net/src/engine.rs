@@ -73,6 +73,224 @@ struct PendingTx<M> {
     frame: OutFrame<M>,
 }
 
+/// Fewer live transmissions than this and a parallel precompute pass
+/// cannot amortize its fork-join cost; the engine stays serial. Purely
+/// a performance knob — results are bit-identical either way, because
+/// a precomputed receiver set is only ever used when its validity
+/// stamps prove the serial path would compute exactly the same thing.
+const PAR_BATCH_FLOOR: usize = 64;
+
+/// One transmission's receiver set, computed ahead of its `TxEnd` by a
+/// tile worker, plus the validity stamps recorded when the pass ran.
+#[derive(Debug)]
+struct TxPrecomp {
+    /// Accepted receivers, ascending node order (exactly what
+    /// [`World::uncorrupted_receivers`] would return).
+    receivers: Vec<usize>,
+    /// In-range receptions lost to overlapping transmissions.
+    collisions: u64,
+    /// In-range, uncollided receptions lost to the reception model.
+    channel_drops: u64,
+    /// [`NodeGrid::disk_stamp`] over the query disk at pass time.
+    grid_stamp: u64,
+    /// [`AirIndex::overlap_stamp`] over twice the range at pass time.
+    air_stamp: u64,
+}
+
+/// One precompute job: a live transmission, snapshotted serially
+/// (shot, sender, validity stamps) before the workers fork.
+#[derive(Debug, Clone, Copy)]
+struct PrecompJob {
+    id: u64,
+    shot: TxShot,
+    sender: u32,
+    grid_stamp: u64,
+    air_stamp: u64,
+}
+
+/// One column-tile's worker state: its share of the pass's jobs, its
+/// reusable scan buffers, and its outputs. Owned by [`ParEngine`] so
+/// every buffer survives between passes — the pass itself is
+/// allocation-free once the buffers reach their steady-state sizes.
+#[derive(Debug, Default)]
+struct WorkerLane {
+    jobs: Vec<PrecompJob>,
+    /// Receiver buffers handed out to this lane's jobs (recycled
+    /// through [`ParEngine::spare`] after consumption).
+    bufs: Vec<Vec<usize>>,
+    cands: Vec<u32>,
+    overlaps: Vec<Vec2>,
+    done: Vec<(u64, TxPrecomp)>,
+}
+
+/// The engine's tile-sharded parallel layer (see ARCHITECTURE.md):
+/// when enough transmissions are on the air, their receiver sets are
+/// precomputed by `threads` workers — the [`NodeGrid`] arena is
+/// partitioned into column tiles and each worker owns the
+/// transmissions keyed up in its columns — then consumed at each
+/// `TxEnd` after a stamp check proves nothing the computation read has
+/// changed. Invalid entries fall back to the serial path, so results
+/// are bit-identical for every thread count, including 1.
+#[derive(Debug)]
+struct ParEngine {
+    /// Worker/tile count; `< 2` disables the parallel layer.
+    threads: usize,
+    /// Live-transmission count below which passes don't run.
+    batch_floor: usize,
+    lanes: Vec<WorkerLane>,
+    /// Precomputed receiver sets awaiting their `TxEnd`, by tx id.
+    ready: ag_sim::hash::DetHashMap<u64, TxPrecomp>,
+    /// Recycled receiver buffers.
+    spare: Vec<Vec<usize>>,
+    /// `TxEnd`s served from a validated precomputed set (telemetry
+    /// only — never part of simulation results).
+    hits: u64,
+}
+
+impl ParEngine {
+    fn new() -> Self {
+        ParEngine {
+            threads: 1,
+            batch_floor: PAR_BATCH_FLOOR,
+            lanes: Vec::new(),
+            ready: ag_sim::hash::DetHashMap::default(),
+            spare: Vec::new(),
+            hits: 0,
+        }
+    }
+}
+
+/// The read-only slice of the world a precompute worker needs:
+/// positions (via legs), the node grid, the air slab's overlap facts,
+/// churn liveness and the reception model. Everything here is plain
+/// shared data — no `Message` payloads — so the view is `Send + Sync`
+/// and [`std::thread::scope`] can hand it to the tile workers while
+/// the event loop waits at the barrier.
+#[derive(Clone, Copy)]
+struct PrecompView<'a> {
+    grid: &'a NodeGrid,
+    air: crate::grid::AirOverlaps<'a>,
+    legs: &'a [LegSample],
+    down: &'a [bool],
+    up_since: &'a [SimTime],
+    shadow_cache: &'a [f64],
+    node_count: usize,
+    range: f64,
+    reception: ReceptionModel,
+    churny: bool,
+    channel_seed: u64,
+}
+
+impl PrecompView<'_> {
+    /// The pure twin of [`World::channel_receives`]: reads the shadow
+    /// cache but never fills it (a worker cannot write shared state).
+    /// Bit-identical decisions — the cache stores exactly the value
+    /// `shadow_eff_range_sq` computes, so a missing entry recomputed
+    /// here compares identically.
+    fn receives(&self, tx_id: u64, sender: u32, receiver: u32, dist_sq: f64) -> bool {
+        if let ReceptionModel::Shadowing {
+            sigma_db,
+            path_loss_exp,
+        } = self.reception
+        {
+            if !self.shadow_cache.is_empty() {
+                let (a, b) = if sender <= receiver {
+                    (sender, receiver)
+                } else {
+                    (receiver, sender)
+                };
+                let idx = a as usize * self.node_count + b as usize;
+                let mut eff_sq = self.shadow_cache[idx];
+                if eff_sq.is_nan() {
+                    eff_sq = crate::phy::shadow_eff_range_sq(
+                        self.channel_seed,
+                        sender,
+                        receiver,
+                        sigma_db,
+                        path_loss_exp,
+                        self.range,
+                    );
+                }
+                return dist_sq <= eff_sq;
+            }
+        }
+        self.reception.receives(
+            self.channel_seed,
+            tx_id,
+            sender,
+            receiver,
+            dist_sq,
+            self.range,
+        )
+    }
+}
+
+/// Computes one transmission's receiver set on a worker thread —
+/// the same candidate query, dedupe, liveness, distance, collision and
+/// reception tests as the serial `uncorrupted_receivers` grid path, so
+/// (given the stamps validate at use time) the same receivers in the
+/// same ascending order and the same collision/drop counts. Dedupe is
+/// a sort over the (small) candidate list instead of the serial path's
+/// shared visit-stamp array; set-identical candidates, and every
+/// per-candidate test is pure, so order of evaluation cannot matter.
+fn precompute_one(
+    v: &PrecompView<'_>,
+    job: &PrecompJob,
+    cands: &mut Vec<u32>,
+    overlaps: &mut Vec<Vec2>,
+    mut receivers: Vec<usize>,
+) -> TxPrecomp {
+    let shot = &job.shot;
+    cands.clear();
+    overlaps.clear();
+    receivers.clear();
+    v.grid.query_disk(shot.pos, v.range, cands);
+    cands.sort_unstable();
+    cands.dedup();
+    if v.air.any_overlapping(job.id, shot.start, shot.end) {
+        v.air
+            .collect_overlapping(job.id, shot.start, shot.end, overlaps);
+    }
+    let any_overlap = !overlaps.is_empty();
+    let ideal = v.reception.is_ideal();
+    let range_sq = v.range * v.range;
+    let mut collisions = 0u64;
+    let mut channel_drops = 0u64;
+    for &rid in cands.iter() {
+        let r = rid as usize;
+        if r == job.sender as usize {
+            continue;
+        }
+        if v.churny && (v.down[r] || v.up_since[r] > shot.start) {
+            continue;
+        }
+        // The receiver's position when the frame completes: `TxEnd`
+        // dispatches at `shot.end`, and the stamp check guarantees the
+        // leg this extrapolates along is still the leg the serial path
+        // would read at that instant.
+        let rpos = v.legs[r].position_at(shot.end);
+        let dist_sq = shot.pos.distance_sq(rpos);
+        if dist_sq > range_sq {
+            continue;
+        }
+        let corrupted = any_overlap && overlaps.iter().any(|p| p.distance_sq(rpos) <= range_sq);
+        if corrupted {
+            collisions += 1;
+        } else if !ideal && !v.receives(job.id, job.sender, rid, dist_sq) {
+            channel_drops += 1;
+        } else {
+            receivers.push(r);
+        }
+    }
+    TxPrecomp {
+        receivers,
+        collisions,
+        channel_drops,
+        grid_stamp: job.grid_stamp,
+        air_stamp: job.air_stamp,
+    }
+}
+
 /// The engine's own hot-path counters, kept as plain fields — a
 /// name-keyed map lookup per transmission is measurable at scale.
 /// [`Engine::counters`] folds them into the public [`CounterSet`]
@@ -179,7 +397,7 @@ struct World<M: Message> {
     counters: CounterSet,
     hot: HotCounters,
     /// Reusable candidate buffer for grid queries.
-    scratch: Vec<u16>,
+    scratch: Vec<u32>,
     /// Reusable receiver buffer (avoids an allocation per `TxEnd`).
     rx_scratch: Vec<usize>,
     /// Reusable buffer for frames a radio failure destroys (avoids an
@@ -206,6 +424,13 @@ struct World<M: Message> {
     /// already ascending, so the grid path never sorts it; the sweep
     /// clears the bits behind itself.
     recv_bits: Vec<u64>,
+    /// Indices of the `recv_bits` words the current `TxEnd` actually
+    /// touched (pushed on each word's 0 → nonzero transition). The
+    /// sweep visits only these — sorted, so output order is unchanged —
+    /// instead of walking all `n / 64` words: at metropolis scale the
+    /// full walk is ~2 KB of streamed zeros per kernel event, which
+    /// dominates the event loop long before the radio work does.
+    touched_words: Vec<u32>,
     /// Watermarks asserting (in debug builds) that the scratch buffers
     /// above actually round-trip: a capacity that shrinks between
     /// events means some path leaked the buffer and replaced it with a
@@ -244,7 +469,7 @@ impl<M: Message> World<M> {
         let now = self.now;
         if let Some(t) = &mut self.trace {
             t.records.push(TraceRecord {
-                node: NodeId::new(node as u16),
+                node: NodeId::new(node as u32),
                 at: now,
                 dispatch,
                 choices: std::mem::take(&mut t.pending),
@@ -438,8 +663,8 @@ impl<M: Message> World<M> {
         &mut self,
         model: ReceptionModel,
         tx_id: u64,
-        sender: u16,
-        receiver: u16,
+        sender: u32,
+        receiver: u32,
         dist_sq: f64,
         range_m: f64,
     ) -> bool {
@@ -538,10 +763,10 @@ impl<M: Message> World<M> {
             // ordering, below).
             self.stamp += 1;
         } else {
-            cands.extend(0..self.node_count() as u16);
+            cands.extend(0..self.node_count() as u32);
         }
-        for &r16 in &cands {
-            let r = r16 as usize;
+        for &rid in &cands {
+            let r = rid as usize;
             if r == sender {
                 continue;
             }
@@ -584,27 +809,36 @@ impl<M: Message> World<M> {
             if corrupted {
                 self.hot.rx_collision += 1;
             } else if !ideal
-                && !self.channel_receives(reception, id, sender as u16, r16, dist_sq, range)
+                && !self.channel_receives(reception, id, sender as u32, rid, dist_sq, range)
             {
                 self.hot.rx_channel_drop += 1;
             } else if grid_path {
-                self.recv_bits[r >> 6] |= 1u64 << (r & 63);
+                let w = r >> 6;
+                if self.recv_bits[w] == 0 {
+                    self.touched_words.push(w as u32);
+                }
+                self.recv_bits[w] |= 1u64 << (r & 63);
             } else {
                 out.push(r);
             }
         }
         if grid_path {
-            // Sweep the receiver bitset in word order: the list comes
-            // out in the same ascending node order as the brute-force
-            // scan, without sorting it.
-            for (w, word) in self.recv_bits.iter_mut().enumerate() {
-                let mut bits = *word;
-                *word = 0;
+            // Sweep the touched receiver-bitset words in ascending word
+            // order: the list comes out in the same ascending node
+            // order as the brute-force scan, without sorting it and
+            // without walking the (at metropolis scale, vast) untouched
+            // remainder of the bitset.
+            self.touched_words.sort_unstable();
+            for &w in &self.touched_words {
+                let w = w as usize;
+                let mut bits = self.recv_bits[w];
+                self.recv_bits[w] = 0;
                 while bits != 0 {
                     out.push((w << 6) | bits.trailing_zeros() as usize);
                     bits &= bits - 1;
                 }
             }
+            self.touched_words.clear();
         }
         self.scratch_cap = cands.capacity();
         self.scratch = cands;
@@ -745,7 +979,7 @@ impl<'a, M: Message> ProtoCtx<M> for NodeApi<'a, M> {
     }
 
     fn id(&self) -> NodeId {
-        NodeId::new(self.node as u16)
+        NodeId::new(self.node as u32)
     }
 
     fn node_count(&self) -> usize {
@@ -889,6 +1123,11 @@ pub struct NodeSetup<P> {
 pub struct Engine<P: Protocol> {
     world: World<P::Msg>,
     protocols: Vec<P>,
+    /// The tile-sharded parallel precompute layer; dormant (and
+    /// costless) until [`Engine::set_threads`] raises the worker count
+    /// above one. Lives beside `world`, not inside it, so a pass can
+    /// borrow the world read-only while the lanes are borrowed mutably.
+    par: ParEngine,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -897,7 +1136,7 @@ impl<P: Protocol> Engine<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is empty or has more than `u16::MAX` entries.
+    /// Panics if `nodes` is empty or has more than `u32::MAX` entries.
     pub fn new(phy: PhyParams, seed: u64, nodes: Vec<NodeSetup<P>>) -> Self {
         Self::build(phy, seed, nodes, false)
     }
@@ -914,7 +1153,7 @@ impl<P: Protocol> Engine<P> {
 
     fn build(phy: PhyParams, seed: u64, nodes: Vec<NodeSetup<P>>, traced: bool) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
-        assert!(nodes.len() <= u16::MAX as usize, "too many nodes");
+        assert!(nodes.len() <= u32::MAX as usize, "too many nodes");
         let splitter = SeedSplitter::new(seed);
         let n = nodes.len();
         let mut mobility = Vec::with_capacity(n);
@@ -981,6 +1220,7 @@ impl<P: Protocol> Engine<P> {
             stamps: vec![0; n],
             stamp: 0,
             recv_bits: vec![0; n.div_ceil(64)],
+            touched_words: Vec::with_capacity(n.div_ceil(64)),
             rx_scratch_cap: 0,
             scratch_cap: 0,
             trace: traced.then(|| TraceSink {
@@ -1001,7 +1241,11 @@ impl<P: Protocol> Engine<P> {
                     .schedule(SimTime::ZERO + up, Event::Churn { node });
             }
         }
-        let mut engine = Engine { world, protocols };
+        let mut engine = Engine {
+            world,
+            protocols,
+            par: ParEngine::new(),
+        };
         for node in 0..n {
             let mut api = NodeApi {
                 world: &mut engine.world,
@@ -1025,6 +1269,38 @@ impl<P: Protocol> Engine<P> {
         }
     }
 
+    /// Sets the worker-thread (column-tile) count for the parallel
+    /// receiver-precompute layer; `1` (the default) keeps the engine
+    /// fully serial. **Purely a wall-clock knob**: results are
+    /// bit-identical for every value, because precomputed receiver
+    /// sets are only consumed when their validity stamps prove the
+    /// serial path would compute the same thing, and everything else
+    /// (event order, RNG streams, merges) is untouched. The layer also
+    /// requires the spatial index; on the brute-force path it stays
+    /// dormant.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        self.par.threads = threads;
+        self.par
+            .lanes
+            .resize_with(if threads > 1 { threads } else { 0 }, WorkerLane::default);
+    }
+
+    /// Lowers (or raises) the live-transmission count a parallel
+    /// precompute pass needs before it runs (default: 64). Exposed so
+    /// the differential tests can force passes in tiny scenarios;
+    /// results are independent of the value, only wall-clock changes.
+    pub fn set_parallel_batch_floor(&mut self, floor: usize) {
+        self.par.batch_floor = floor.max(1);
+    }
+
+    /// Number of `TxEnd`s served from a stamp-validated precomputed
+    /// receiver set so far. Telemetry for tests and tuning only — it
+    /// never feeds back into the simulation.
+    pub fn parallel_hits(&self) -> u64 {
+        self.par.hits
+    }
+
     /// Runs the event loop until simulated time `t` (inclusive). Safe to
     /// call repeatedly with increasing times.
     pub fn run_until(&mut self, t: SimTime) {
@@ -1035,9 +1311,148 @@ impl<P: Protocol> Engine<P> {
             let (when, ev) = self.world.queue.pop().expect("peeked event vanished");
             debug_assert!(when >= self.world.now, "time went backwards");
             self.world.now = when;
+            if let Event::TxEnd { tx_id } = ev {
+                self.maybe_precompute(tx_id);
+            }
             self.dispatch(ev);
         }
         self.world.now = t;
+    }
+
+    /// Runs a parallel precompute pass if the upcoming `TxEnd` lacks a
+    /// precomputed receiver set and enough transmissions are live to
+    /// amortize the fork-join. One pass covers *every* live
+    /// transmission, so subsequent `TxEnd`s hit the ready map until
+    /// newly started transmissions outrun it.
+    fn maybe_precompute(&mut self, tx_id: u64) {
+        if self.par.threads < 2
+            || self.world.grid.is_none()
+            || self.world.air.live_count() < self.par.batch_floor
+            || self.par.ready.contains_key(&tx_id)
+        {
+            return;
+        }
+        // A transmission truncated by its sender's radio failure is
+        // never precomputed (it delivers to nobody); don't let its
+        // `TxEnd` trigger passes either.
+        let sender = match self.world.air.peek(tx_id) {
+            Some(p) => p.sender,
+            None => return,
+        };
+        if self.world.tx_of[sender] != Some(tx_id) {
+            return;
+        }
+        self.precompute_pass();
+    }
+
+    /// One tile-sharded precompute pass (see [`ParEngine`]).
+    ///
+    /// Serial prologue: snapshot each live, unprecomputed transmission
+    /// and its validity stamps, and assign it to the tile owning its
+    /// sender's grid column. Parallel middle: scoped workers, one per
+    /// tile, compute receiver sets against the read-only world view.
+    /// Serial epilogue: merge the lanes into the ready map in fixed
+    /// tile order. The scratch buffers all live in the lanes and the
+    /// spare pool, so a steady-state pass allocates nothing.
+    fn precompute_pass(&mut self) {
+        let par = &mut self.par;
+        let world = &self.world;
+        let Some(grid) = &world.grid else {
+            return;
+        };
+        let k = par.threads;
+        let range = world.phy.range_m();
+        for lane in &mut par.lanes {
+            lane.jobs.clear();
+            debug_assert!(lane.done.is_empty(), "lane outputs not merged");
+        }
+        let mut jobs = 0usize;
+        world.air.for_each_live(|id, shot, ptx| {
+            if world.tx_of[ptx.sender] != Some(id) || par.ready.contains_key(&id) {
+                return;
+            }
+            // Tiles stripe the grid's columns: tile `t` owns every
+            // column ≡ t (mod k). `rem_euclid` keeps negative columns
+            // (west of the origin cell) in range.
+            let tile = grid.column_of(shot.pos).rem_euclid(k as i64) as usize;
+            par.lanes[tile].jobs.push(PrecompJob {
+                id,
+                shot: *shot,
+                sender: ptx.sender as u32,
+                grid_stamp: grid.disk_stamp(shot.pos, range),
+                air_stamp: world.air.overlap_stamp(shot.pos, 2.0 * range),
+            });
+            jobs += 1;
+        });
+        if jobs == 0 {
+            return;
+        }
+        // Hand each lane one recycled receiver buffer per job.
+        for lane in &mut par.lanes {
+            while lane.bufs.len() < lane.jobs.len() {
+                lane.bufs.push(par.spare.pop().unwrap_or_default());
+            }
+        }
+        let view = PrecompView {
+            grid,
+            air: world.air.overlaps_view(),
+            legs: &world.legs,
+            down: &world.down,
+            up_since: &world.up_since,
+            shadow_cache: &world.shadow_cache,
+            node_count: world.macs.len(),
+            range,
+            reception: world.phy.reception(),
+            churny: world.phy.churn().is_some(),
+            channel_seed: world.channel_seed,
+        };
+        std::thread::scope(|s| {
+            for lane in &mut par.lanes {
+                if lane.jobs.is_empty() {
+                    continue;
+                }
+                s.spawn(move || {
+                    for i in 0..lane.jobs.len() {
+                        let job = lane.jobs[i];
+                        let buf = lane.bufs.pop().expect("lane handed too few buffers");
+                        let pc =
+                            precompute_one(&view, &job, &mut lane.cands, &mut lane.overlaps, buf);
+                        lane.done.push((job.id, pc));
+                    }
+                });
+            }
+        });
+        // Merge in fixed tile order. (Entries are keyed by tx id and
+        // consumed independently, so the order is for determinism
+        // hygiene, not correctness.)
+        for lane in &mut par.lanes {
+            for (id, pc) in lane.done.drain(..) {
+                par.ready.insert(id, pc);
+            }
+        }
+    }
+
+    /// Takes transmission `tx_id`'s precomputed receiver set if its
+    /// validity stamps still hold; an invalidated set is recycled and
+    /// `None` sends the caller down the serial path.
+    fn take_precomp(&mut self, tx_id: u64, shot: &TxShot) -> Option<TxPrecomp> {
+        let pc = self.par.ready.remove(&tx_id)?;
+        let range = self.world.phy.range_m();
+        let valid = self
+            .world
+            .grid
+            .as_ref()
+            .is_some_and(|g| g.disk_stamp(shot.pos, range) == pc.grid_stamp)
+            && self.world.air.overlap_stamp(shot.pos, 2.0 * range) == pc.air_stamp;
+        if valid {
+            self.par.hits += 1;
+            Some(pc)
+        } else {
+            let mut buf = pc.receivers;
+            buf.clear();
+            self.par.spare.push(buf);
+            None
+        }
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -1105,15 +1520,35 @@ impl<P: Protocol> Engine<P> {
         if self.world.tx_of[rec.sender] != Some(tx_id) {
             // The sender's radio failed mid-transmission (churn): the
             // frame was truncated on the air, nobody decodes it, and
-            // the sender's MAC state is long gone.
+            // the sender's MAC state is long gone. Discard any receiver
+            // set precomputed before the failure (the failure bumped
+            // the grid stamps, so it would not validate anyway).
+            if let Some(pc) = self.par.ready.remove(&tx_id) {
+                let mut buf = pc.receivers;
+                buf.clear();
+                self.par.spare.push(buf);
+            }
             self.world.air.prune();
             return;
         }
         self.world.tx_of[rec.sender] = None;
-        let receivers = self.world.uncorrupted_receivers(tx_id, &shot, rec.sender);
+        // Consume the precomputed receiver set if its stamps prove it
+        // is exactly what the serial path would compute; otherwise
+        // compute serially. (`finish` and `prune` never change stamps,
+        // so the ordering around them is immaterial.)
+        let mut from_pool = false;
+        let receivers = match self.take_precomp(tx_id, &shot) {
+            Some(pc) => {
+                self.world.hot.rx_collision += pc.collisions;
+                self.world.hot.rx_channel_drop += pc.channel_drops;
+                from_pool = true;
+                pc.receivers
+            }
+            None => self.world.uncorrupted_receivers(tx_id, &shot, rec.sender),
+        };
         self.world.air.prune();
         let sender = rec.sender;
-        let from = NodeId::new(sender as u16);
+        let from = NodeId::new(sender as u32);
         match rec.frame.dest {
             None => {
                 // Broadcast: the sender is done with this frame regardless
@@ -1197,8 +1632,16 @@ impl<P: Protocol> Engine<P> {
         // half of the `uncorrupted_receivers` scratch round-trip. Every
         // exit from the delivery code above passes through here; the
         // truncated-frame early return happens before the buffer is
-        // taken, so it cannot leak it.
-        self.world.rx_scratch = receivers;
+        // taken, so it cannot leak it. A precomputed buffer goes back
+        // to the parallel layer's pool instead — `rx_scratch` was never
+        // taken on that path.
+        if from_pool {
+            let mut buf = receivers;
+            buf.clear();
+            self.par.spare.push(buf);
+        } else {
+            self.world.rx_scratch = receivers;
+        }
     }
 
     /// Current simulated time.
@@ -1658,7 +2101,7 @@ mod tests {
             mobility: stationary(0.0),
             protocol: Scripted::with_script(script),
         }];
-        for r in 1..10u16 {
+        for r in 1..10u32 {
             // All at 65 m, just inside the 75 m disk, spread on a ring.
             let ang = r as f64;
             nodes.push(NodeSetup {
@@ -1675,7 +2118,7 @@ mod tests {
         });
         let mut e = Engine::new(phy, 5, nodes);
         e.run_until(SimTime::from_secs(30));
-        let counts: Vec<usize> = (1..10u16)
+        let counts: Vec<usize> = (1..10u32)
             .map(|r| e.protocol(NodeId::new(r)).received.len())
             .collect();
         assert!(
@@ -1810,7 +2253,7 @@ mod tests {
         fn build() -> Engine<Scripted> {
             let f = Field::paper();
             let splitter = SeedSplitter::new(77);
-            let nodes = (0..10u16)
+            let nodes = (0..10u32)
                 .map(|i| {
                     let mut rng = splitter.stream(StreamKind::Placement, i as u64);
                     let script = if i == 0 {
@@ -1842,7 +2285,7 @@ mod tests {
         let mut b = build();
         a.run_until(SimTime::from_secs(30));
         b.run_until(SimTime::from_secs(30));
-        for i in 0..10u16 {
+        for i in 0..10u32 {
             let ra: Vec<_> = a
                 .protocol(NodeId::new(i))
                 .received

@@ -123,8 +123,8 @@ impl ReceptionModel {
         &self,
         channel_seed: u64,
         tx_id: u64,
-        sender: u16,
-        receiver: u16,
+        sender: u32,
+        receiver: u32,
         dist_sq: f64,
         range_m: f64,
     ) -> bool {
@@ -164,8 +164,8 @@ impl ReceptionModel {
 /// `sqrt`, `cos`, `powf`) on every reception.
 pub(crate) fn shadow_eff_range_sq(
     channel_seed: u64,
-    sender: u16,
-    receiver: u16,
+    sender: u32,
+    receiver: u32,
     sigma_db: f64,
     path_loss_exp: f64,
     range_m: f64,
@@ -176,7 +176,7 @@ pub(crate) fn shadow_eff_range_sq(
         (receiver, sender)
     };
     let key = splitmix64(
-        channel_seed ^ (((a as u64) << 16) | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        channel_seed ^ (((a as u64) << 32) | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
     // Box–Muller from two hash-derived uniforms (u1 kept strictly
     // positive for the log).
@@ -602,7 +602,7 @@ mod tests {
         };
         let d = 70.0 * 70.0;
         let mut shortened = 0;
-        for b in 1..200u16 {
+        for b in 1..200u32 {
             let ab = m.receives(11, 0, 0, b, d, 75.0);
             // Reciprocal and independent of the transmission id.
             assert_eq!(ab, m.receives(11, 5, b, 0, d, 75.0));
@@ -615,7 +615,7 @@ mod tests {
         assert!(shortened < 190, "expected some clear links");
         // Very short links always get through (gain is clamped at 0 dB
         // only from above; a 1 m link needs ~37 dB of fade at n=3).
-        for b in 1..200u16 {
+        for b in 1..200u32 {
             assert!(m.receives(11, 0, 0, b, 1.0, 75.0));
         }
     }

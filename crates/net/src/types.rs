@@ -9,7 +9,10 @@ use crate::ctx::ProtoCtx;
 /// A node's network address.
 ///
 /// In MAODV terms this stands in for the node's IP address; the engine
-/// assigns dense ids `0..n`.
+/// assigns dense ids `0..n`. A `u32` index caps the population at ~4
+/// billion — metropolis-scale (millions of nodes) with headroom, while
+/// keeping per-node id storage (grid buckets, scratch lists) at four
+/// bytes.
 ///
 /// # Example
 ///
@@ -20,11 +23,11 @@ use crate::ctx::ProtoCtx;
 /// assert_eq!(a.to_string(), "n3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeId(u16);
+pub struct NodeId(u32);
 
 impl NodeId {
     /// Creates a node id from its dense index.
-    pub const fn new(index: u16) -> Self {
+    pub const fn new(index: u32) -> Self {
         NodeId(index)
     }
 
@@ -33,8 +36,8 @@ impl NodeId {
         self.0 as usize
     }
 
-    /// The raw 16-bit value.
-    pub const fn raw(self) -> u16 {
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
         self.0
     }
 }
@@ -45,8 +48,8 @@ impl fmt::Display for NodeId {
     }
 }
 
-impl From<u16> for NodeId {
-    fn from(v: u16) -> Self {
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
         NodeId(v)
     }
 }
@@ -136,7 +139,7 @@ mod tests {
         let id = NodeId::new(42);
         assert_eq!(id.index(), 42);
         assert_eq!(id.raw(), 42);
-        assert_eq!(NodeId::from(7u16), NodeId::new(7));
+        assert_eq!(NodeId::from(7u32), NodeId::new(7));
         assert_eq!(id.to_string(), "n42");
     }
 

@@ -357,7 +357,7 @@ mod tests {
                 mobility: stationary(x, y),
                 protocol: OdmrpProtocol::new(
                     cfg,
-                    NodeId::new(i as u16),
+                    NodeId::new(i as u32),
                     GroupId(0),
                     members.contains(&i),
                     (i == source).then_some(traffic),

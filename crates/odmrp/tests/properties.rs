@@ -43,7 +43,7 @@ fn build(
             mobility: Box::new(Stationary::new(Vec2::new(x, y))) as Box<dyn Mobility>,
             protocol: OdmrpProtocol::new(
                 cfg,
-                NodeId::new(i as u16),
+                NodeId::new(i as u32),
                 GroupId(0),
                 i % 2 == 0,
                 (i == 0).then_some(traffic),
@@ -101,7 +101,7 @@ proptest! {
         let (mut e, traffic, cfg) = build(&positions, range_m, packets, seed);
         e.run_until(traffic.end + cfg.fg_lifetime + SimDuration::from_secs(3));
         let now = e.now();
-        for i in 0..positions.len() as u16 {
+        for i in 0..positions.len() as u32 {
             let p = e.protocol(NodeId::new(i));
             prop_assert!(
                 !p.in_forwarding_group(now),

@@ -409,12 +409,23 @@ impl<E> EventQueue<E> {
         // that high-water bucket-by-bucket is a coupon-collector tail
         // of rare reallocations spread over the whole run; paying a
         // few entries per slab up front ends it at the (rare) resizes.
+        //
+        // The largest rings get 16, not less: at `MAX_BUCKETS` the
+        // pending window often spans more days than the ring has
+        // buckets, so day-aliasing (`day & mask`) parks *two or more*
+        // active days in a fraction of the buckets. With a floor of 4
+        // those aliased buckets kept doubling one straggler at a time
+        // — tens of thousands of late allocations per long run (the
+        // `queue_calendar_steady` alloc gate caught it). 16 covers the
+        // aliased occupancy's observed tail; the memory bound is
+        // `MAX_BUCKETS × 16` entries, and a ring that large implies a
+        // pending population that dwarfs the floor anyway.
         let floor = if nb <= 2048 {
             32
         } else if nb <= 16_384 {
             8
         } else {
-            4
+            16
         };
         for b in &mut self.buckets {
             if b.capacity() < floor {

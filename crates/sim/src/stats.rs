@@ -5,6 +5,13 @@
 //! members (§5.1). [`Summary`] captures exactly that triple (plus variance,
 //! used in EXPERIMENTS.md to verify the "decreased variation" claim), and
 //! [`Histogram`] backs the goodput distribution of Figure 8.
+//!
+//! Everything here is *streaming*: accumulators are constant-size
+//! regardless of how many observations they absorb, and every type has
+//! an associative `merge`, so metropolis-scale runs can fold millions
+//! of per-member observations without the reduced result growing with
+//! the node count ([`SummarySet`] is the labelled bundle the harness
+//! uses for exactly that).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -307,6 +314,78 @@ impl Histogram {
     }
 }
 
+/// A labelled collection of streaming [`Summary`] accumulators.
+///
+/// The metropolis-scale harness paths fold per-member observations
+/// (packets received, gossip rounds, goodput…) straight into named
+/// summaries instead of materialising one record per member, so the
+/// reduced result of a run is a handful of fixed-size accumulators no
+/// matter how many nodes the scenario has. Like [`CounterSet`], keys
+/// are static strings so call sites stay greppable; like [`Summary`],
+/// merging is associative, so per-worker sets pooled in a fixed order
+/// reproduce the serial fold bit-for-bit on count/min/max (and to
+/// floating-point merge tolerance on mean/variance).
+///
+/// # Example
+///
+/// ```
+/// use ag_sim::stats::SummarySet;
+/// let mut s = SummarySet::new();
+/// s.record("received", 3.0);
+/// s.record("received", 5.0);
+/// assert_eq!(s.get("received").mean(), 4.0);
+/// assert_eq!(s.get("missing").count(), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SummarySet {
+    summaries: BTreeMap<&'static str, Summary>,
+}
+
+impl SummarySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation under `name`, creating the summary if
+    /// absent.
+    pub fn record(&mut self, name: &'static str, x: f64) {
+        self.summaries.entry(name).or_default().record(x);
+    }
+
+    /// The summary for `name` (an empty summary if never touched).
+    pub fn get(&self, name: &str) -> Summary {
+        self.summaries.get(name).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(name, summary)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Summary)> + '_ {
+        self.summaries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Merges another set into this one, summary by summary.
+    pub fn merge(&mut self, other: &SummarySet) {
+        for (k, v) in other.iter() {
+            self.summaries.entry(k).or_default().merge(v);
+        }
+    }
+}
+
+impl fmt::Display for SummarySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.summaries.is_empty() {
+            return write!(f, "(no summaries)");
+        }
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
 /// A labelled collection of counters, used for per-run protocol statistics
 /// (packets sent, collisions, RREQs, gossip replies…).
 ///
@@ -508,6 +587,49 @@ mod tests {
         let mut a = Histogram::new(0.0, 100.0, 10);
         let b = Histogram::new(0.0, 100.0, 5);
         a.merge(&b);
+    }
+
+    #[test]
+    fn summary_set_merge_matches_sequential() {
+        let mut a = SummarySet::new();
+        let mut b = SummarySet::new();
+        let mut whole = SummarySet::new();
+        for &x in &[1.0, 5.0, 2.0] {
+            a.record("rx", x);
+            whole.record("rx", x);
+        }
+        a.record("rounds", 7.0);
+        whole.record("rounds", 7.0);
+        for &x in &[9.0, 3.0] {
+            b.record("rx", x);
+            whole.record("rx", x);
+        }
+        a.merge(&b);
+        assert_eq!(a.get("rx").count(), whole.get("rx").count());
+        assert!((a.get("rx").mean() - whole.get("rx").mean()).abs() < 1e-12);
+        assert_eq!(a.get("rx").min(), whole.get("rx").min());
+        assert_eq!(a.get("rx").max(), whole.get("rx").max());
+        assert_eq!(a.get("rounds").count(), 1);
+        assert_eq!(a.get("missing").count(), 0);
+    }
+
+    #[test]
+    fn summary_set_merge_brings_new_keys() {
+        let mut a = SummarySet::new();
+        let mut b = SummarySet::new();
+        b.record("only_b", 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("only_b").mean(), 4.0);
+        let keys: Vec<_> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["only_b"]);
+    }
+
+    #[test]
+    fn summary_set_display() {
+        let mut s = SummarySet::new();
+        s.record("rx", 2.0);
+        assert!(s.to_string().starts_with("rx: n=1"));
+        assert_eq!(SummarySet::new().to_string(), "(no summaries)");
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! City scale: 500 nodes on a square kilometre.
+//! City scale: the full stack from 500 nodes to a metropolis.
 //!
 //! The paper evaluates 40–100 nodes on 200 m × 200 m. This example runs
 //! the same full stack (MAODV multicast + Anonymous Gossip recovery) at
-//! an order of magnitude more nodes, which is only tractable because
+//! orders of magnitude more nodes, which is only tractable because
 //! the engine's receiver and collision lookups go through the uniform-
 //! grid spatial index (`crates/net/src/grid.rs`).
 //!
@@ -10,13 +10,21 @@
 //!
 //! 1. An engine-only beacon workload at N = 500, timed through the grid
 //!    index and through the brute-force scans, to show the raw engine
-//!    speedup (both produce identical simulations).
-//! 2. The full gossip stack on [`Scenario::city_scale`], grid-backed.
+//!    speedup (both produce identical simulations). This part stays at
+//!    500 nodes whatever `AG_NODES` says — brute force is O(n²) and the
+//!    point is the index, not the scale.
+//! 2. The full gossip stack on [`Scenario::city_scale`], grid-backed,
+//!    at `AG_NODES` nodes (default 500) for `AG_SIM_SECS` simulated
+//!    seconds (default 60). The field grows with the population so
+//!    local density stays at 500 nodes/km². Member outcomes fold into
+//!    streaming [`RunStats`] accumulators, and the run reports peak RSS
+//!    and kernel events/second at exit.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example city_scale
+//! AG_NODES=100000 AG_SIM_SECS=20 cargo run --release --example city_scale
 //! ```
 
 // Wall-clock use here is driver-side progress reporting only; the
@@ -26,22 +34,22 @@
 
 use std::time::Instant;
 
-use ag_bench::beacon_engine;
-use ag_harness::{run_gossip, Scenario};
+use ag_bench::{beacon_engine, perf::peak_rss_kb};
+use ag_harness::{report, run_gossip_counting, RunStats, Scenario};
 use ag_sim::SimTime;
 
-const NODES: usize = 500;
+const BEACON_NODES: usize = 500;
 
 fn main() {
     // ── Part 1: raw engine throughput, grid vs brute force. ──
-    let sim_secs = 5;
-    println!("engine throughput: {NODES} beaconing nodes, {sim_secs} s simulated");
+    let beacon_secs = 5;
+    println!("engine throughput: {BEACON_NODES} beaconing nodes, {beacon_secs} s simulated");
     let mut wall = [0.0f64; 2];
     for (i, (label, spatial)) in [("grid", true), ("brute", false)].iter().enumerate() {
         // ag-lint: allow(wall-clock) -- driver-side progress timing, outside the simulation
         let t0 = Instant::now();
-        let mut engine = beacon_engine(NODES, 1, *spatial);
-        engine.run_until(SimTime::from_secs(sim_secs));
+        let mut engine = beacon_engine(BEACON_NODES, 1, *spatial);
+        engine.run_until(SimTime::from_secs(beacon_secs));
         wall[i] = t0.elapsed().as_secs_f64();
         let heard: u64 = engine.protocols().iter().map(|p| p.heard).sum();
         println!(
@@ -52,8 +60,10 @@ fn main() {
     }
     println!("  speedup: {:.1}x\n", wall[1] / wall[0]);
 
-    // ── Part 2: the full gossip stack at city scale. ──
-    let sc = Scenario::city_scale(NODES).with_duration_secs(60);
+    // ── Part 2: the full gossip stack at city (or metropolis) scale. ──
+    let nodes = report::env_nodes(500);
+    let sim_secs = report::env_sim_secs_or(60);
+    let sc = Scenario::city_scale(nodes).with_duration_secs(sim_secs);
     println!(
         "full stack: {} nodes, {} members, {:.0} m x {:.0} m, range {} m, {} s simulated",
         sc.nodes,
@@ -61,23 +71,35 @@ fn main() {
         sc.field.width(),
         sc.field.height(),
         sc.range_m,
-        60
+        sim_secs
     );
     // ag-lint: allow(wall-clock) -- driver-side progress timing, outside the simulation
     let t0 = Instant::now();
-    let result = run_gossip(&sc, 7);
+    let (result, events) = run_gossip_counting(&sc, 7);
     let wall = t0.elapsed().as_secs_f64();
+
+    // Fold the per-member records into the constant-size streaming
+    // accumulators; from here on memory no longer scales with N.
+    let mut stats = RunStats::new();
+    stats.absorb(&result);
+    drop(result);
+
+    // Deterministic simulation results and wall-clock figures stay on
+    // separate lines on purpose: the CI scale-smoke job diffs this
+    // output across AG_THREADS values, filtering lines that mention
+    // wall time — everything else must be byte-identical.
+    println!("  {wall:.2} s wall");
     println!(
-        "  {wall:.2} s wall; source sent {} packets, mean delivery {:.1} %",
-        result.sent,
-        100.0 * result.delivery_ratio()
+        "  source sent {} packets, mean delivery {:.1} %",
+        stats.sent,
+        100.0 * stats.delivery_ratio()
     );
-    let summary = result.received_summary();
+    let rx = stats.receivers.get("received");
     println!(
         "  packets per receiver: mean {:.1}, min {:.0}, max {:.0}",
-        summary.mean(),
-        summary.min(),
-        summary.max()
+        rx.mean(),
+        rx.min(),
+        rx.max()
     );
     for key in [
         "mac.broadcast_tx",
@@ -86,13 +108,9 @@ fn main() {
         "mac.rx_collision",
         "mob.transition",
     ] {
-        println!(
-            "  {key}: {}",
-            result
-                .counters
-                .iter()
-                .find(|(k, _)| k == key)
-                .map_or(0, |(_, v)| *v)
-        );
+        println!("  {key}: {}", stats.counter(key));
     }
+    println!("  events: {events} kernel events");
+    println!("  {:.0} events/s wall", events as f64 / wall.max(1e-9));
+    println!("  peak rss: {} KiB", peak_rss_kb());
 }

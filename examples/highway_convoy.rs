@@ -24,7 +24,7 @@ use ag_sim::rng::{SeedSplitter, StreamKind};
 use ag_sim::{SimDuration, SimTime};
 
 fn main() {
-    let n = 24u16;
+    let n = 24u32;
     // Every third vehicle subscribes to the hazard channel.
     let members: Vec<NodeId> = (0..n).filter(|i| i % 3 == 0).map(NodeId::new).collect();
     let source = members[0];

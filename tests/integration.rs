@@ -88,7 +88,7 @@ fn member_caches_fill_without_membership_protocol() {
     let source = members[0];
     let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..sc.nodes)
         .map(|i| {
-            let id = NodeId::new(i as u16);
+            let id = NodeId::new(i as u32);
             let mut rng = ag_sim::rng::SeedSplitter::new(4)
                 .stream(ag_sim::rng::StreamKind::Placement, i as u64);
             NodeSetup {
@@ -139,7 +139,7 @@ fn static_grid_has_perfect_tree_delivery() {
         100,
         64,
     );
-    let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..16u16)
+    let nodes: Vec<NodeSetup<AnonymousGossip>> = (0..16u32)
         .map(|i| {
             let id = NodeId::new(i);
             let (x, y) = ((i % 4) as f64 * spacing, (i / 4) as f64 * spacing);
